@@ -1,0 +1,127 @@
+// Command encore-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	encore-bench [-exp fig1|table1|fig5|fig6|fig7a|fig7b|fig8|all]
+//	             [-apps a,b,c] [-quick] [-table1-app name]
+//
+// Each experiment prints the same rows/series as the corresponding paper
+// exhibit; see EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"encore/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, all")
+		apps  = flag.String("apps", "", "comma-separated benchmark subset")
+		quick = flag.Bool("quick", false, "reduced Monte-Carlo trials")
+		t1app = flag.String("table1-app", "175.vpr", "workload for the Table 1 comparison")
+	)
+	flag.Parse()
+
+	h := &experiments.Harness{Quick: *quick}
+	if *apps != "" {
+		h.Apps = strings.Split(*apps, ",")
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig1":
+			r, err := h.Fig1()
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "table1":
+			r, err := h.Table1(*t1app)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "fig5":
+			r, err := h.Fig5()
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "fig6":
+			r, err := h.Fig6()
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "fig7a":
+			r, err := h.Fig7a()
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "fig7b":
+			r, err := h.Fig7b()
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "fig8":
+			r, err := h.Fig8()
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "abl-eta":
+			r, err := h.AblationEta(nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "abl-budget":
+			r, err := h.AblationBudget(nil)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "abl-signature":
+			r, err := h.AblationSignature()
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "abl-input":
+			r, err := h.AblationInputShift(7)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		case "abl-detector":
+			r, err := h.AblationDetector(100)
+			if err != nil {
+				return err
+			}
+			r.Render(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig1", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig8",
+			"abl-eta", "abl-budget", "abl-signature", "abl-detector", "abl-input"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "encore-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// ADPCM example: protect a realistic media codec (the rawcaudio IMA ADPCM
+// coder) end to end, sweeping the overhead budget to show the paper's
+// central tradeoff — how much recoverability a given performance budget
+// buys (§3.4.2) — and validating the analytical coverage model against
+// real injected faults.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"encore/internal/core"
+	"encore/internal/sfi"
+	"encore/internal/workload"
+)
+
+func main() {
+	sp, err := workload.ByName("rawcaudio")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("budget sweep on rawcaudio (IMA ADPCM coder):")
+	fmt.Println("budget   overhead   exec recoverable   predicted cov (Dmax=100)")
+	for _, budget := range []float64{0.02, 0.05, 0.10, 0.20, 0.40} {
+		art := sp.Build()
+		cfg := core.DefaultConfig()
+		cfg.Budget = budget
+		res, err := core.Compile(art.Mod, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := res.DynBreakdown()
+		cov := res.RecoverableCoverage(100)
+		fmt.Printf("%5.0f%%    %6.2f%%   %10.1f%%        %.1f%%\n",
+			budget*100, res.MeasuredOverhead*100,
+			b.Recoverable()*100, (cov.RecovIdem+cov.RecovCkpt)*100)
+	}
+
+	// Validate the Equation-7 prediction with real fault injection at the
+	// default budget.
+	art := sp.Build()
+	res, err := core.Compile(art.Mod, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cov := res.RecoverableCoverage(100)
+	camp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
+		Trials: 400, Seed: 11, Dmax: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nend-to-end SFI (400 faults, Dmax=100):\n")
+	fmt.Printf("  recovered to golden output: %d\n", camp.Counts[sfi.Recovered])
+	fmt.Printf("  benign (masked):            %d\n", camp.Counts[sfi.Benign])
+	fmt.Printf("  rollback missed instance:   %d\n", camp.Counts[sfi.RecoveredWrong])
+	fmt.Printf("  silent corruption:          %d\n", camp.Counts[sfi.SilentCorruption])
+	fmt.Printf("  crashed:                    %d\n", camp.Counts[sfi.Crashed])
+	fmt.Printf("  same-instance rollbacks:    %d (analytical model predicts ~%.0f)\n",
+		camp.SameInstance, (cov.RecovIdem+cov.RecovCkpt)*float64(camp.Trials))
+}

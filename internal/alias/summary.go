@@ -1,0 +1,265 @@
+package alias
+
+import (
+	"encore/internal/ir"
+)
+
+// Summary captures the caller-visible memory side effects of a function,
+// expressed in callee terms: globals, absolute addresses, and locations
+// reached through pointer parameters (KindParam). Effects on the callee's
+// own frame are invisible to callers (the frame is dead on return) and are
+// omitted. Unknown marks functions whose effects could not be bounded —
+// extern calls, escaping frame addresses, recursion, or functions marked
+// Opaque — and is what produces the "Unknown" region category in paper
+// Figure 5.
+type Summary struct {
+	Stores  Set
+	Loads   Set
+	Unknown bool
+}
+
+// SummaryMap holds the bottom-up summaries for every function of a module.
+type SummaryMap map[*ir.Func]*Summary
+
+// ModuleInfo bundles per-function reference information with call
+// summaries; it is the complete static memory model handed to the
+// idempotence analysis.
+type ModuleInfo struct {
+	Funcs     map[*ir.Func]*FuncInfo
+	Summaries SummaryMap
+}
+
+// Info returns the per-function reference info, computing nothing — the
+// map is fully populated by AnalyzeModule.
+func (mi *ModuleInfo) Info(f *ir.Func) *FuncInfo { return mi.Funcs[f] }
+
+// AttachObservations decorates every resolved memory reference (and the
+// summary locations derived from them) with its dynamically observed
+// address footprint, enabling the Profiled may-alias mode. References the
+// profiling run never executed keep a nil footprint and fall back to the
+// static answer. Must be called before the summaries are consumed.
+func (mi *ModuleInfo) AttachObservations(obs map[InstrPos]*Range) {
+	for _, fi := range mi.Funcs {
+		for pos, l := range fi.Refs {
+			if r := obs[pos]; r != nil {
+				l.Obs = r
+				fi.Refs[pos] = l
+			}
+		}
+	}
+	// Rebuild summaries so their store/load sets carry the footprints.
+	rebuilt := SummaryMap{}
+	order, cyclic := callOrderFuncs(mi)
+	for f := range cyclic {
+		rebuilt[f] = &Summary{Stores: Set{}, Loads: Set{}, Unknown: true}
+	}
+	mi.Summaries = rebuilt
+	for _, f := range order {
+		if _, done := rebuilt[f]; done {
+			continue
+		}
+		rebuilt[f] = buildSummary(f, mi)
+	}
+}
+
+// callOrderFuncs re-derives callee-first ordering from the module of any
+// analyzed function.
+func callOrderFuncs(mi *ModuleInfo) ([]*ir.Func, map[*ir.Func]bool) {
+	for _, fi := range mi.Funcs {
+		if fi.Fn != nil && fi.Fn.Mod != nil {
+			return callOrder(fi.Fn.Mod)
+		}
+	}
+	return nil, map[*ir.Func]bool{}
+}
+
+// AnalyzeModule runs the value-tracking pass on every function and builds
+// bottom-up call summaries. Recursive cycles are summarized as Unknown.
+func AnalyzeModule(m *ir.Module) *ModuleInfo {
+	mi := &ModuleInfo{Funcs: map[*ir.Func]*FuncInfo{}, Summaries: SummaryMap{}}
+	for _, f := range m.Funcs {
+		mi.Funcs[f] = AnalyzeFunc(f)
+	}
+	// Topological order over the call graph; functions involved in cycles
+	// are marked Unknown up front.
+	order, cyclic := callOrder(m)
+	for f := range cyclic {
+		mi.Summaries[f] = &Summary{Stores: Set{}, Loads: Set{}, Unknown: true}
+	}
+	for _, f := range order {
+		if _, done := mi.Summaries[f]; done {
+			continue
+		}
+		mi.Summaries[f] = buildSummary(f, mi)
+	}
+	return mi
+}
+
+// Instantiate re-expresses callee summary s at a call site whose arguments
+// have abstract locations argLocs. Param-based locations are rebased onto
+// the corresponding argument; everything else passes through. The returned
+// unknown flag is set when the callee's effects cannot be bounded at this
+// site.
+func Instantiate(s *Summary, argLocs []Loc) (stores, loads Set, unknown bool) {
+	stores, loads = Set{}, Set{}
+	if s == nil {
+		return stores, loads, true
+	}
+	unknown = s.Unknown
+	rebase := func(l Loc) (Loc, bool) {
+		if l.Kind != KindParam {
+			return l, true
+		}
+		if l.Param >= len(argLocs) {
+			return Unknown, true
+		}
+		base := argLocs[l.Param]
+		switch base.Kind {
+		case KindUnknown:
+			return Unknown, true
+		default:
+			out := base
+			if out.OffKnown && l.OffKnown {
+				out.Off += l.Off
+			} else {
+				out.OffKnown = false
+				out.Off = 0
+			}
+			return out, true
+		}
+	}
+	for l := range s.Stores {
+		nl, _ := rebase(l)
+		stores.Add(nl)
+	}
+	for l := range s.Loads {
+		nl, _ := rebase(l)
+		loads.Add(nl)
+	}
+	return stores, loads, unknown
+}
+
+func buildSummary(f *ir.Func, mi *ModuleInfo) *Summary {
+	s := &Summary{Stores: Set{}, Loads: Set{}}
+	if f.Opaque {
+		s.Unknown = true
+		return s
+	}
+	fi := mi.Funcs[f]
+	addVisible := func(set Set, l Loc) {
+		// The callee's own frame is invisible to callers.
+		if l.Kind == KindFrame && l.Fn == f {
+			return
+		}
+		set.Add(l)
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			pos := InstrPos{Block: b, Index: i}
+			switch in.Op {
+			case ir.OpStore:
+				addVisible(s.Stores, fi.RefOf(pos))
+				// An address value stored into memory escapes: if it is a
+				// frame address, later loads could resurrect it in ways the
+				// analysis cannot see.
+				if escapesFrameValue(f, fi, b, i) {
+					s.Unknown = true
+				}
+			case ir.OpLoad:
+				addVisible(s.Loads, fi.RefOf(pos))
+			case ir.OpExtern:
+				s.Unknown = true
+			case ir.OpCall:
+				callee := mi.Summaries[in.Callee]
+				st, ld, unk := Instantiate(callee, fi.CallArgs[pos])
+				if unk {
+					s.Unknown = true
+				}
+				for l := range st {
+					addVisible(s.Stores, l)
+				}
+				for l := range ld {
+					addVisible(s.Loads, l)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// escapesFrameValue reports whether the store at (b, i) writes a frame
+// address into memory. A precise escape analysis is unnecessary: the
+// value-tracking pass tells us when the stored register holds a frame
+// address at this point.
+func escapesFrameValue(f *ir.Func, fi *FuncInfo, b *ir.Block, i int) bool {
+	// Re-run the block prefix to get the state at instruction i. Blocks are
+	// short; this stays cheap and avoids retaining full per-point states.
+	st := fi.stateAt(f, b, i)
+	if st == nil {
+		return false
+	}
+	v := st[b.Instrs[i].B]
+	return v.kind == avAddr && v.loc.Kind == KindFrame
+}
+
+// stateAt reconstructs the abstract register state just before instruction
+// idx of block b from the block-entry states retained by AnalyzeFunc.
+func (fi *FuncInfo) stateAt(f *ir.Func, b *ir.Block, idx int) []aval {
+	in := fi.entryStates[b]
+	if in == nil {
+		return nil
+	}
+	st := append([]aval(nil), in...)
+	for i := 0; i < idx; i++ {
+		transfer(f, st, &b.Instrs[i])
+	}
+	return st
+}
+
+// callOrder returns the module's functions in callee-before-caller order
+// and the set of functions participating in call-graph cycles.
+func callOrder(m *ir.Module) (order []*ir.Func, cyclic map[*ir.Func]bool) {
+	cyclic = map[*ir.Func]bool{}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*ir.Func]int{}
+	var stack []*ir.Func
+	var dfs func(f *ir.Func)
+	dfs = func(f *ir.Func) {
+		color[f] = gray
+		stack = append(stack, f)
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				switch color[in.Callee] {
+				case white:
+					dfs(in.Callee)
+				case gray:
+					// Mark everything on the stack from the callee upward.
+					for j := len(stack) - 1; j >= 0; j-- {
+						cyclic[stack[j]] = true
+						if stack[j] == in.Callee {
+							break
+						}
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[f] = black
+		order = append(order, f)
+	}
+	for _, f := range m.Funcs {
+		if color[f] == white {
+			dfs(f)
+		}
+	}
+	return order, cyclic
+}

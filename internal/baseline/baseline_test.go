@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+	"encore/internal/ir"
+	"encore/internal/workload"
+)
+
+// counterProgram stores 1..n into G sequentially.
+func counterProgram(n int64) (*ir.Module, *ir.Global) {
+	m := ir.NewModule("t")
+	G := m.NewGlobal("G", n)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	gB, i, bound, cond, a := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(gB, G)
+	entry.Const(i, 0)
+	entry.Jmp(head)
+	head.Const(bound, n)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, body, exit)
+	body.Add(a, gB, i)
+	body.Store(a, 0, i)
+	body.AddI(i, i, 1)
+	body.Jmp(head)
+	exit.RetVoid()
+	f.Recompute()
+	return m, G
+}
+
+func TestFullCheckpointerRestores(t *testing.T) {
+	mod, G := counterProgram(100)
+	c := NewFullCheckpointer(200)
+	m := interp.New(mod, interp.Config{Hook: c})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Checkpoints == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	// Corrupt memory, restore, and check the snapshot point's contents.
+	before := append([]int64(nil), m.Mem[G.Addr:G.Addr+G.Size]...)
+	_ = before
+	for i := int64(0); i < G.Size; i++ {
+		m.Mem[G.Addr+i] = -1
+	}
+	at, ok := c.Restore(m)
+	if !ok {
+		t.Fatal("restore failed")
+	}
+	if at <= 0 {
+		t.Errorf("restore point %d", at)
+	}
+	// After restore memory must no longer be all -1.
+	fixed := false
+	for i := int64(0); i < G.Size; i++ {
+		if m.Mem[G.Addr+i] != -1 {
+			fixed = true
+		}
+	}
+	if !fixed {
+		t.Error("restore did not rewrite memory")
+	}
+	if c.BytesPerCkpt != int64(len(m.Mem))*8 {
+		t.Errorf("full snapshot bytes = %d", c.BytesPerCkpt)
+	}
+}
+
+func TestUndoLogRollsBack(t *testing.T) {
+	mod, G := counterProgram(50)
+	l := NewUndoLog(1 << 40) // never commit: whole run in one window
+	m := interp.New(mod, interp.Config{Hook: l})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.TotalLogged != 50 {
+		t.Fatalf("logged %d stores, want 50", l.TotalLogged)
+	}
+	n := l.Rollback(m)
+	if n != 50 {
+		t.Fatalf("rolled back %d entries", n)
+	}
+	for i := int64(0); i < G.Size; i++ {
+		if m.Mem[G.Addr+i] != 0 {
+			t.Fatalf("G[%d] = %d after rollback, want 0", i, m.Mem[G.Addr+i])
+		}
+	}
+}
+
+func TestUndoLogCommitsBound(t *testing.T) {
+	mod, _ := counterProgram(100)
+	l := NewUndoLog(100)
+	m := interp.New(mod, interp.Config{Hook: l})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Commits == 0 {
+		t.Error("interval commits expected")
+	}
+	if l.MaxLogBytes <= 0 || l.MaxLogBytes > 100*16 {
+		t.Errorf("max log bytes = %d", l.MaxLogBytes)
+	}
+}
+
+func TestMeasuredTable1Ordering(t *testing.T) {
+	sp, err := workload.ByName("rawdaudio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, err := MeasureEnterprise(sp.Build().Mod, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := MeasureArchitectural(sp.Build().Mod, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent.StorageBytes <= arch.StorageBytes {
+		t.Errorf("enterprise snapshot (%dB) must dwarf the undo log (%dB)",
+			ent.StorageBytes, arch.StorageBytes)
+	}
+	if !ent.GuaranteedRecovery || !arch.GuaranteedRecovery {
+		t.Error("both baselines guarantee recovery within their window")
+	}
+}

@@ -1,0 +1,428 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"encore/internal/ir"
+	"encore/internal/workload"
+)
+
+// diamond builds the classic if-else diamond with a loop tail:
+//
+//	entry -> a -> {b, c} -> join -> loop.head <-> loop.body ; loop.head -> exit
+func diamond(t *testing.T) (*ir.Func, map[string]*ir.Block) {
+	t.Helper()
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 0)
+	names := []string{"entry", "a", "b", "c", "join", "head", "body", "exit"}
+	bs := map[string]*ir.Block{}
+	for _, n := range names {
+		bs[n] = f.NewBlock(n)
+	}
+	cond := f.NewReg()
+	bs["entry"].Const(cond, 1)
+	bs["entry"].Jmp(bs["a"])
+	bs["a"].Br(cond, bs["b"], bs["c"])
+	bs["b"].Jmp(bs["join"])
+	bs["c"].Jmp(bs["join"])
+	bs["join"].Jmp(bs["head"])
+	bs["head"].Br(cond, bs["body"], bs["exit"])
+	bs["body"].Jmp(bs["head"])
+	bs["exit"].RetVoid()
+	f.Recompute()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return f, bs
+}
+
+func TestDominators(t *testing.T) {
+	f, bs := diamond(t)
+	dom := Dominators(f)
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"entry", "exit", true},
+		{"a", "join", true},
+		{"b", "join", false},
+		{"c", "join", false},
+		{"join", "head", true},
+		{"head", "body", true},
+		{"body", "head", false},
+		{"head", "head", true},
+	}
+	for _, c := range cases {
+		if got := dom.Dominates(bs[c.a], bs[c.b]); got != c.want {
+			t.Errorf("Dominates(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if dom.IDom(bs["entry"]) != nil {
+		t.Error("entry must have no idom")
+	}
+	if dom.IDom(bs["join"]) != bs["a"] {
+		t.Errorf("idom(join) = %v, want a", dom.IDom(bs["join"]))
+	}
+}
+
+func TestPostOrderCoversAll(t *testing.T) {
+	f, _ := diamond(t)
+	po := PostOrder(f)
+	if len(po) != len(f.Blocks) {
+		t.Fatalf("post-order covered %d of %d blocks", len(po), len(f.Blocks))
+	}
+	if po[len(po)-1] != f.Entry() {
+		t.Error("entry must come last in post-order")
+	}
+	rpo := ReversePostOrder(f)
+	if rpo[0] != f.Entry() {
+		t.Error("entry must come first in reverse post-order")
+	}
+}
+
+func TestFindLoops(t *testing.T) {
+	f, bs := diamond(t)
+	dom := Dominators(f)
+	lf := FindLoops(f, dom)
+	l := lf.ByHeader[bs["head"]]
+	if l == nil {
+		t.Fatal("loop at head not found")
+	}
+	if !l.Contains(bs["body"]) || !l.Contains(bs["head"]) {
+		t.Error("loop must contain head and body")
+	}
+	if l.Contains(bs["join"]) || l.Contains(bs["exit"]) {
+		t.Error("loop must not contain join/exit")
+	}
+	if got := l.ExitingBlocks(); len(got) != 1 || got[0] != bs["head"] {
+		t.Errorf("exiting blocks = %v", got)
+	}
+	if got := l.ExitBlocks(); len(got) != 1 || got[0] != bs["exit"] {
+		t.Errorf("exit blocks = %v", got)
+	}
+	if lf.LoopOf(bs["body"]) != l || lf.LoopOf(bs["entry"]) != nil {
+		t.Error("Innermost mapping wrong")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	oh := f.NewBlock("outer.head")
+	ih := f.NewBlock("inner.head")
+	ib := f.NewBlock("inner.body")
+	ol := f.NewBlock("outer.latch")
+	exit := f.NewBlock("exit")
+	c := f.NewReg()
+	entry.Const(c, 1)
+	entry.Jmp(oh)
+	oh.Br(c, ih, exit)
+	ih.Br(c, ib, ol)
+	ib.Jmp(ih)
+	ol.Jmp(oh)
+	exit.RetVoid()
+	f.Recompute()
+
+	dom := Dominators(f)
+	lf := FindLoops(f, dom)
+	outer, inner := lf.ByHeader[oh], lf.ByHeader[ih]
+	if outer == nil || inner == nil {
+		t.Fatal("missing loops")
+	}
+	if inner.Parent != outer {
+		t.Errorf("inner.Parent = %v", inner.Parent)
+	}
+	if outer.Depth() != 1 || inner.Depth() != 2 {
+		t.Errorf("depths %d %d", outer.Depth(), inner.Depth())
+	}
+	ito := lf.InnerToOuter()
+	if len(ito) != 2 || ito[0] != inner || ito[1] != outer {
+		t.Errorf("InnerToOuter order wrong: %v", ito)
+	}
+	if irr := Canonicalize(f, dom); len(irr) != 0 {
+		t.Errorf("reducible CFG flagged irreducible: %v", irr)
+	}
+}
+
+func TestIrreducible(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	a := f.NewBlock("a")
+	b := f.NewBlock("b")
+	exit := f.NewBlock("exit")
+	c := f.NewReg()
+	entry.Const(c, 1)
+	// Two entries into the {a, b} cycle: classic irreducible shape.
+	entry.Br(c, a, b)
+	a.Br(c, b, exit)
+	b.Jmp(a)
+	exit.RetVoid()
+	f.Recompute()
+	dom := Dominators(f)
+	irr := Canonicalize(f, dom)
+	if !irr[a] || !irr[b] {
+		t.Errorf("a and b should be flagged irreducible, got %v", irr)
+	}
+	if irr[entry] || irr[exit] {
+		t.Errorf("entry/exit wrongly flagged: %v", irr)
+	}
+}
+
+func TestIntervalsPartitionAndSEME(t *testing.T) {
+	f, bs := diamond(t)
+	ivs := FirstOrderIntervals(f)
+	dom := Dominators(f)
+	seen := map[*ir.Block]int{}
+	for _, iv := range ivs {
+		for _, b := range iv.Blocks {
+			seen[b]++
+			if !dom.Dominates(iv.Header, b) {
+				t.Errorf("interval header %s does not dominate member %s", iv.Header, b)
+			}
+		}
+		// Single entry: all edges from outside land on the header.
+		for _, b := range iv.Blocks {
+			if b == iv.Header {
+				continue
+			}
+			for _, p := range b.Preds {
+				if !iv.Contains(p) {
+					t.Errorf("side entry into interval %s at %s from %s", iv.Header, b, p)
+				}
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		if seen[b] != 1 {
+			t.Errorf("block %s covered %d times", b, seen[b])
+		}
+	}
+	// The loop head must start its own interval (back-edge target).
+	foundLoop := false
+	for _, iv := range ivs {
+		if iv.Header == bs["head"] {
+			foundLoop = true
+		}
+	}
+	if !foundLoop {
+		t.Error("loop header should head an interval")
+	}
+}
+
+func TestIntervalSequenceConverges(t *testing.T) {
+	f, _ := diamond(t)
+	seq := IntervalSequence(f)
+	if len(seq) < 2 {
+		t.Fatalf("expected at least two derivation levels, got %d", len(seq))
+	}
+	last := seq[len(seq)-1]
+	if len(last) != 1 {
+		t.Errorf("reducible CFG must converge to one interval, got %d", len(last))
+	}
+	if last[0].Header != f.Entry() {
+		t.Error("limit interval must be headed by the entry block")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 1)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	p := ir.Reg(0)
+	i, sum, c := f.NewReg(), f.NewReg(), f.NewReg()
+	entry.Const(i, 0)
+	entry.Const(sum, 0)
+	entry.Jmp(head)
+	head.Bin(ir.OpLt, c, i, p)
+	head.Br(c, body, exit)
+	body.Add(sum, sum, i)
+	body.AddI(i, i, 1)
+	body.Jmp(head)
+	exit.Ret(sum)
+	f.Recompute()
+
+	lv := ComputeLiveness(f)
+	for _, r := range []ir.Reg{p, i, sum} {
+		if !lv.In[head][r] {
+			t.Errorf("r%d must be live into the loop head", r)
+		}
+	}
+	if lv.In[entry][i] {
+		t.Error("i is defined in entry; must not be live-in")
+	}
+	if !lv.In[entry][p] {
+		t.Error("parameter must be live into entry")
+	}
+	if lv.In[head][c] {
+		t.Error("c is defined before use in head; must not be live-in")
+	}
+	region := map[*ir.Block]bool{head: true, body: true}
+	over := lv.RegionLiveInOverwritten(head, region)
+	want := map[ir.Reg]bool{i: true, sum: true}
+	if len(over) != len(want) {
+		t.Fatalf("overwritten live-ins = %v, want i, sum", over)
+	}
+	for _, r := range over {
+		if !want[r] {
+			t.Errorf("unexpected checkpoint register r%d", r)
+		}
+	}
+}
+
+// TestDominatorsAgainstBruteForce checks the CHK dominator computation
+// against path enumeration on random small CFGs.
+func TestDominatorsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		f := randomCFG(rng, 8)
+		dom := Dominators(f)
+		reach := PostOrder(f)
+		inSet := map[*ir.Block]bool{}
+		for _, b := range reach {
+			inSet[b] = true
+		}
+		for _, a := range reach {
+			for _, b := range reach {
+				want := bruteDominates(f, a, b)
+				if got := dom.Dominates(a, b); got != want {
+					t.Fatalf("trial %d: Dominates(%s,%s)=%v want %v\n%s",
+						trial, a, b, got, want, f.String())
+				}
+			}
+		}
+	}
+}
+
+// bruteDominates: a dominates b iff removing a makes b unreachable (or a==b).
+func bruteDominates(f *ir.Func, a, b *ir.Block) bool {
+	if a == b {
+		return true
+	}
+	seen := map[*ir.Block]bool{a: true} // block a: do not traverse past it
+	var stack []*ir.Block
+	if f.Entry() != a {
+		stack = append(stack, f.Entry())
+		seen[f.Entry()] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == b {
+			return false
+		}
+		for _, s := range n.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}
+
+// randomCFG generates a small random (possibly cyclic) CFG with all blocks
+// wired to valid targets.
+func randomCFG(rng *rand.Rand, n int) *ir.Func {
+	m := ir.NewModule("rand")
+	f := m.NewFunc("main", 0)
+	blocks := make([]*ir.Block, n)
+	for i := 0; i < n; i++ {
+		blocks[i] = f.NewBlock("b")
+	}
+	c := f.NewReg()
+	blocks[0].Const(c, 1)
+	for i, b := range blocks {
+		switch rng.Intn(3) {
+		case 0:
+			b.Jmp(blocks[rng.Intn(n)])
+		case 1:
+			b.Br(c, blocks[rng.Intn(n)], blocks[rng.Intn(n)])
+		default:
+			if i == 0 {
+				b.Jmp(blocks[1+rng.Intn(n-1)])
+			} else {
+				b.RetVoid()
+			}
+		}
+	}
+	f.Recompute()
+	return f
+}
+
+// TestIntervalsOnRandomCFGs checks the interval invariants (partition,
+// header dominance, single entry) on random graphs.
+func TestIntervalsOnRandomCFGs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		f := randomCFG(rng, 10)
+		dom := Dominators(f)
+		reachable := map[*ir.Block]bool{}
+		for _, b := range PostOrder(f) {
+			reachable[b] = true
+		}
+		seen := map[*ir.Block]int{}
+		for _, iv := range FirstOrderIntervals(f) {
+			for _, b := range iv.Blocks {
+				seen[b]++
+				if !dom.Dominates(iv.Header, b) {
+					t.Fatalf("trial %d: header %s !dom %s\n%s", trial, iv.Header, b, f.String())
+				}
+				if b != iv.Header {
+					for _, p := range b.Preds {
+						if reachable[p] && !iv.Contains(p) {
+							t.Fatalf("trial %d: side entry %s->%s (interval %s)\n%s",
+								trial, p, b, iv.Header, f.String())
+						}
+					}
+				}
+			}
+		}
+		for b := range reachable {
+			if seen[b] != 1 {
+				t.Fatalf("trial %d: block %s covered %d times\n%s", trial, b, seen[b], f.String())
+			}
+		}
+	}
+}
+
+// TestIntervalInvariantsOnWorkloads checks the SEME-cover invariants on
+// every real benchmark function, at every derivation level.
+func TestIntervalInvariantsOnWorkloads(t *testing.T) {
+	for _, sp := range workload.All() {
+		art := sp.Build()
+		for _, f := range art.Mod.Funcs {
+			if len(f.Blocks) == 0 {
+				continue
+			}
+			dom := Dominators(f)
+			reachable := map[*ir.Block]bool{}
+			for _, b := range PostOrder(f) {
+				reachable[b] = true
+			}
+			for level, ivs := range IntervalSequence(f) {
+				seen := map[*ir.Block]int{}
+				for _, iv := range ivs {
+					for _, b := range iv.Blocks {
+						seen[b]++
+						if !dom.Dominates(iv.Header, b) {
+							t.Fatalf("%s/%s level %d: header %s !dom %s",
+								sp.Name, f.Name, level, iv.Header, b)
+						}
+					}
+				}
+				for b := range reachable {
+					if seen[b] != 1 {
+						t.Fatalf("%s/%s level %d: block %s covered %d times",
+							sp.Name, f.Name, level, b, seen[b])
+					}
+				}
+			}
+		}
+	}
+}

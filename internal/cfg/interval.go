@@ -1,0 +1,203 @@
+package cfg
+
+import (
+	"sort"
+
+	"encore/internal/ir"
+)
+
+// Interval is a Cocke–Allen interval: a single-entry subgraph whose header
+// dominates every member. Intervals are exactly the SEME candidate regions
+// of paper §3.3 ("an interval is essentially a loop plus acyclic tails...
+// all intervals are by definition SEME regions").
+type Interval struct {
+	Header *ir.Block
+	Blocks []*ir.Block // sorted by block ID; includes Header
+	Level  int         // derivation level: 0 = first-order intervals
+}
+
+// Contains reports whether b is a member of the interval.
+func (iv *Interval) Contains(b *ir.Block) bool {
+	for _, m := range iv.Blocks {
+		if m == b {
+			return true
+		}
+	}
+	return false
+}
+
+// intGraph is the generic graph the interval algorithm runs on, so it can
+// be applied recursively to derived (interval) graphs.
+type intGraph struct {
+	n     int
+	succs [][]int
+	preds [][]int
+}
+
+// intervalsOf computes the first-order interval partition of g with entry
+// node 0, returning for each interval its header and sorted members.
+// Classic algorithm: grow I(h) with any node whose predecessors all lie in
+// I(h); unclaimed successors of interval members become new headers.
+func intervalsOf(g *intGraph) (headers []int, members [][]int) {
+	claimed := make([]int, g.n) // node -> interval index + 1, 0 = unclaimed
+	isHeader := make([]bool, g.n)
+	headerQueue := []int{0}
+	queued := make([]bool, g.n)
+	queued[0] = true
+
+	for len(headerQueue) > 0 {
+		h := headerQueue[0]
+		headerQueue = headerQueue[1:]
+		if claimed[h] != 0 {
+			continue
+		}
+		idx := len(headers)
+		headers = append(headers, h)
+		isHeader[h] = true
+		mem := []int{h}
+		claimed[h] = idx + 1
+		// Grow until no more nodes can be absorbed.
+		for changed := true; changed; {
+			changed = false
+			for _, m := range mem {
+				for _, s := range g.succs[m] {
+					if claimed[s] != 0 || s == 0 {
+						continue
+					}
+					all := true
+					for _, p := range g.preds[s] {
+						if claimed[p] != idx+1 {
+							all = false
+							break
+						}
+					}
+					if all {
+						claimed[s] = idx + 1
+						mem = append(mem, s)
+						changed = true
+					}
+				}
+			}
+		}
+		members = append(members, mem)
+		// Successors of members that were not absorbed are header candidates.
+		for _, m := range mem {
+			for _, s := range g.succs[m] {
+				if claimed[s] == 0 && !queued[s] {
+					queued[s] = true
+					headerQueue = append(headerQueue, s)
+				}
+			}
+		}
+	}
+	// Unreachable nodes stay unclaimed; callers operate on reachable graphs.
+	return headers, members
+}
+
+// derive builds the interval graph: one node per interval, an edge
+// I1 -> I2 when some member of I1 has an edge to the header of I2.
+func derive(g *intGraph, headers []int, members [][]int) (*intGraph, []int) {
+	owner := make([]int, g.n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for idx, mem := range members {
+		for _, m := range mem {
+			owner[m] = idx
+		}
+	}
+	d := &intGraph{n: len(headers)}
+	d.succs = make([][]int, d.n)
+	d.preds = make([][]int, d.n)
+	seen := map[[2]int]bool{}
+	for idx, mem := range members {
+		for _, m := range mem {
+			for _, s := range g.succs[m] {
+				o := owner[s]
+				if o < 0 || o == idx {
+					continue
+				}
+				key := [2]int{idx, o}
+				if !seen[key] {
+					seen[key] = true
+					d.succs[idx] = append(d.succs[idx], o)
+					d.preds[o] = append(d.preds[o], idx)
+				}
+			}
+		}
+	}
+	return d, owner
+}
+
+// IntervalSequence computes the derived sequence of interval partitions of
+// the reachable CFG of f. Element 0 holds the first-order intervals;
+// element k the intervals of the k-th derived graph, with members expanded
+// back to basic blocks. The sequence stops when a derivation no longer
+// reduces the node count (a single node for reducible graphs, the limit
+// graph for irreducible ones).
+func IntervalSequence(f *ir.Func) [][]*Interval {
+	rpo := ReversePostOrder(f)
+	if len(rpo) == 0 {
+		return nil
+	}
+	// Dense node numbering over reachable blocks, entry = 0.
+	num := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		num[b] = i
+	}
+	g := &intGraph{n: len(rpo)}
+	g.succs = make([][]int, g.n)
+	g.preds = make([][]int, g.n)
+	for i, b := range rpo {
+		for _, s := range b.Succs {
+			if j, ok := num[s]; ok {
+				g.succs[i] = append(g.succs[i], j)
+				g.preds[j] = append(g.preds[j], i)
+			}
+		}
+	}
+
+	// blocksOf[node] = basic blocks represented by that node at the current
+	// level; headBlock[node] = the basic block acting as its entry.
+	blocksOf := make([][]*ir.Block, g.n)
+	headBlock := make([]*ir.Block, g.n)
+	for i, b := range rpo {
+		blocksOf[i] = []*ir.Block{b}
+		headBlock[i] = b
+	}
+
+	var seq [][]*Interval
+	for level := 0; ; level++ {
+		headers, members := intervalsOf(g)
+		ivs := make([]*Interval, len(headers))
+		nextBlocks := make([][]*ir.Block, len(headers))
+		nextHead := make([]*ir.Block, len(headers))
+		for i, h := range headers {
+			var blks []*ir.Block
+			for _, m := range members[i] {
+				blks = append(blks, blocksOf[m]...)
+			}
+			sort.Slice(blks, func(a, b int) bool { return blks[a].ID < blks[b].ID })
+			ivs[i] = &Interval{Header: headBlock[h], Blocks: blks, Level: level}
+			nextBlocks[i] = blks
+			nextHead[i] = headBlock[h]
+		}
+		seq = append(seq, ivs)
+		if len(headers) >= g.n || len(headers) <= 1 {
+			break
+		}
+		g, _ = derive(g, headers, members)
+		blocksOf = nextBlocks
+		headBlock = nextHead
+	}
+	return seq
+}
+
+// FirstOrderIntervals returns just the level-0 interval partition.
+func FirstOrderIntervals(f *ir.Func) []*Interval {
+	seq := IntervalSequence(f)
+	if len(seq) == 0 {
+		return nil
+	}
+	return seq[0]
+}

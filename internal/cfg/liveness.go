@@ -1,0 +1,98 @@
+package cfg
+
+import (
+	"encore/internal/ir"
+)
+
+// RegSet is a set of virtual registers.
+type RegSet map[ir.Reg]bool
+
+// Liveness holds per-block register liveness for one function.
+type Liveness struct {
+	In  map[*ir.Block]RegSet // live at block entry
+	Out map[*ir.Block]RegSet // live at block exit
+	Def map[*ir.Block]RegSet // registers written in the block
+}
+
+// ComputeLiveness runs the classic backward live-variable fixpoint.
+// Encore uses it to find the live-in registers a region overwrites — the
+// registers its instrumentation must checkpoint at region entry (§3.2).
+func ComputeLiveness(f *ir.Func) *Liveness {
+	lv := &Liveness{
+		In:  map[*ir.Block]RegSet{},
+		Out: map[*ir.Block]RegSet{},
+		Def: map[*ir.Block]RegSet{},
+	}
+	use := map[*ir.Block]RegSet{}
+	var buf []ir.Reg
+	for _, b := range f.Blocks {
+		u, d := RegSet{}, RegSet{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			buf = in.Uses(buf[:0])
+			for _, r := range buf {
+				if !d[r] {
+					u[r] = true
+				}
+			}
+			if dst := in.Def(); dst != ir.NoReg {
+				d[dst] = true
+			}
+		}
+		if c := b.Term.Cond; c != ir.NoReg && !d[c] {
+			u[c] = true
+		}
+		if b.Term.HasVal && !d[b.Term.Val] {
+			u[b.Term.Val] = true
+		}
+		use[b], lv.Def[b] = u, d
+		lv.In[b], lv.Out[b] = RegSet{}, RegSet{}
+	}
+	po := PostOrder(f) // backward problem converges fastest in post-order
+	for changed := true; changed; {
+		changed = false
+		for _, b := range po {
+			out := RegSet{}
+			for _, s := range b.Succs {
+				for r := range lv.In[s] {
+					out[r] = true
+				}
+			}
+			in := RegSet{}
+			for r := range use[b] {
+				in[r] = true
+			}
+			for r := range out {
+				if !lv.Def[b][r] {
+					in[r] = true
+				}
+			}
+			if len(out) != len(lv.Out[b]) || len(in) != len(lv.In[b]) {
+				changed = true
+			}
+			lv.Out[b], lv.In[b] = out, in
+		}
+	}
+	return lv
+}
+
+// RegionLiveInOverwritten returns the registers live into header that some
+// block of the region redefines — exactly the register checkpoint set.
+func (lv *Liveness) RegionLiveInOverwritten(header *ir.Block, blocks map[*ir.Block]bool) []ir.Reg {
+	var out []ir.Reg
+	for r := range lv.In[header] {
+		for b := range blocks {
+			if lv.Def[b][r] {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+	"encore/internal/workload"
+)
+
+// TestCheckpointBufferBounded validates Table 1's storage claim at
+// runtime: for every benchmark, no region instance ever accumulates a
+// checkpoint buffer beyond its static fixed-slot bound (|CP| memory
+// slots of 8 bytes plus |RegCkpts| register slots of 4 bytes), and the
+// global maximum stays in the paper's 10–100 B band.
+func TestCheckpointBufferBounded(t *testing.T) {
+	for _, sp := range workload.All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			art := sp.Build()
+			res, err := Compile(art.Mod, DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var bound int64
+			for _, r := range res.Regions {
+				if !r.Selected {
+					continue
+				}
+				b := int64(len(r.Analysis.CP))*8 + int64(len(r.RegCkpts))*4
+				if b > bound {
+					bound = b
+				}
+			}
+			m := interp.New(res.Mod, interp.Config{})
+			m.SetRuntime(res.Metas)
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if m.MaxBufferBytes > bound {
+				t.Errorf("max instance buffer %dB exceeds static bound %dB", m.MaxBufferBytes, bound)
+			}
+			if m.MaxBufferBytes > 120 {
+				t.Errorf("buffer %dB outside the paper's 10-100B band", m.MaxBufferBytes)
+			}
+			t.Logf("max instance buffer %dB (static bound %dB)", m.MaxBufferBytes, bound)
+		})
+	}
+}

@@ -1,0 +1,271 @@
+// Package core assembles the full Encore pipeline (paper Figure 3): it
+// profiles a program, partitions every function's CFG into SEME regions,
+// runs the idempotence analysis under the configured alias mode and Pmin,
+// applies the γ/η selection heuristics within a performance budget,
+// instruments the module for rollback recovery, and measures the real
+// dynamic-instruction overhead by re-running the instrumented program.
+package core
+
+import (
+	"fmt"
+
+	"encore/internal/alias"
+	"encore/internal/idem"
+	"encore/internal/interp"
+	"encore/internal/ir"
+	"encore/internal/model"
+	"encore/internal/opt"
+	"encore/internal/profile"
+	"encore/internal/region"
+	"encore/internal/xform"
+)
+
+// Config parametrizes one Encore compilation.
+type Config struct {
+	// Pmin prunes blocks with execution probability below it from the
+	// idempotence analysis (§3.4.1). Valid only when UsePmin is set;
+	// UsePmin=false reproduces the paper's Pmin = ∅ column.
+	Pmin    float64
+	UsePmin bool
+
+	// Gamma is the Coverage/Cost instrumentation floor (γ, §3.4.2);
+	// zero disables the floor and selection is budget-driven, mirroring
+	// the paper's per-application empirical derivation.
+	Gamma float64
+	// Eta is the region-merge threshold (η, Equation 5); zero accepts
+	// every interval merge.
+	Eta float64
+	// Budget caps the estimated fractional runtime overhead; the paper
+	// targets 0.20.
+	Budget float64
+
+	// AliasMode selects the Static, Profiled, or Optimistic analysis of
+	// Figure 7a.
+	AliasMode alias.Mode
+
+	// Optimize runs the scalar optimization passes (constant folding,
+	// copy propagation, DCE) before analysis, matching the paper's -O3
+	// compilation baseline. The benchmark kernels are already written in
+	// optimized form, so this mainly matters for external IR.
+	Optimize bool
+
+	// Interp configures the profiling and measurement runs.
+	Interp interp.Config
+}
+
+// DefaultConfig returns the paper's headline configuration: Pmin = 0.0,
+// budget-driven selection targeting 20% overhead, static alias analysis.
+func DefaultConfig() Config {
+	return Config{Pmin: 0, UsePmin: true, Eta: 0.5, Budget: 0.20, AliasMode: alias.Static}
+}
+
+// Result is a compiled, instrumented program plus everything measured
+// along the way.
+type Result struct {
+	Mod     *ir.Module
+	Cfg     Config
+	Prof    *profile.Data
+	Regions []*region.Region
+	// Candidates are the pre-merge level-0 interval regions; Figure 5's
+	// idempotence breakdown is reported over these.
+	Candidates []*region.Region
+	Metas      []interp.RegionMeta
+	Stats      *xform.Stats
+
+	// EstOverhead is the selector's estimate of fractional overhead.
+	EstOverhead float64
+
+	// Measured by re-running the instrumented module:
+	BaselineInstrs   int64   // baseline dynamic instructions
+	TotalInstrs      int64   // instrumented dynamic instructions
+	MeasuredOverhead float64 // (Total-Baseline)/Baseline
+	CkptRegBytes     int64
+	CkptMemBytes     int64
+	RegionEntries    int64
+}
+
+// Compile runs the full pipeline on mod, instrumenting it in place.
+func Compile(mod *ir.Module, cfg Config) (*Result, error) {
+	if err := mod.Verify(); err != nil {
+		return nil, fmt.Errorf("core: input module: %w", err)
+	}
+	if cfg.Optimize {
+		opt.Optimize(mod)
+	}
+	var prof *profile.Data
+	var addrs profile.AddrProfile
+	var err error
+	if cfg.AliasMode == alias.Profiled {
+		prof, addrs, err = profile.CollectWithAddresses(mod, cfg.Interp)
+	} else {
+		prof, err = profile.Collect(mod, cfg.Interp)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	mi := alias.AnalyzeModule(mod)
+	if addrs != nil {
+		mi.AttachObservations(addrs)
+	}
+
+	var regions, candidates []*region.Region
+	for _, f := range mod.Funcs {
+		if len(f.Blocks) == 0 || f.Opaque {
+			continue
+		}
+		env := idem.NewEnv(f, mi, cfg.AliasMode)
+		if cfg.UsePmin {
+			env.WithProfile(prof.Freq, cfg.Pmin)
+		}
+		fin, cand := region.Form(f, env, prof, region.FormConfig{Eta: cfg.Eta})
+		regions = append(regions, fin...)
+		candidates = append(candidates, cand...)
+	}
+	// Region IDs must be module-unique for the runtime metadata.
+	for i, r := range regions {
+		r.ID = i
+	}
+
+	// Profiled mode: one conflict-observation run prunes checkpoint sets
+	// to the stores that dynamically violate idempotence.
+	if cfg.AliasMode == alias.Profiled {
+		if err := observeConflicts(mod, regions, cfg.Interp); err != nil {
+			return nil, fmt.Errorf("core: conflict profiling: %w", err)
+		}
+	}
+
+	est := region.Select(regions, prof, region.SelectConfig{Gamma: cfg.Gamma, Budget: cfg.Budget})
+
+	metas, stats, err := xform.Instrument(mod, regions)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	res := &Result{
+		Mod: mod, Cfg: cfg, Prof: prof, Regions: regions, Candidates: candidates,
+		Metas: metas, Stats: stats, EstOverhead: est,
+	}
+
+	// Measurement run on the instrumented module.
+	m := interp.New(mod, cfg.Interp)
+	m.SetRuntime(metas)
+	if _, err := m.Run(); err != nil {
+		return nil, fmt.Errorf("core: instrumented run: %w", err)
+	}
+	res.BaselineInstrs = m.BaseCount
+	res.TotalInstrs = m.Count
+	if m.BaseCount > 0 {
+		res.MeasuredOverhead = float64(m.Count-m.BaseCount) / float64(m.BaseCount)
+	}
+	res.CkptRegBytes = m.CkptRegBytes
+	res.CkptMemBytes = m.CkptMemBytes
+	res.RegionEntries = m.RegionEntries
+	return res, nil
+}
+
+// ClassCounts tallies regions by idempotence class (Figure 5's segments).
+type ClassCounts struct {
+	Idempotent, NonIdempotent, Unknown int
+}
+
+// Total returns the region count.
+func (c ClassCounts) Total() int { return c.Idempotent + c.NonIdempotent + c.Unknown }
+
+// FracIdempotent returns the idempotent fraction (0 when empty).
+func (c ClassCounts) FracIdempotent() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.Idempotent) / float64(c.Total())
+}
+
+// ClassCounts computes the Figure-5 static breakdown over the candidate
+// (pre-merge) recovery regions.
+func (r *Result) ClassCounts() ClassCounts {
+	var c ClassCounts
+	for _, rg := range r.Candidates {
+		switch rg.Analysis.Class {
+		case idem.Idempotent:
+			c.Idempotent++
+		case idem.NonIdempotent:
+			c.NonIdempotent++
+		default:
+			c.Unknown++
+		}
+	}
+	return c
+}
+
+// DynBreakdown is Figure 6: fractions of baseline execution time spent in
+// inherently idempotent recoverable regions, in instrumented (checkpointed)
+// regions, and in unprotected code.
+type DynBreakdown struct {
+	Idempotent float64 // recoverable for free
+	Ckpt       float64 // recoverable via Encore checkpointing
+	NoCkpt     float64 // non-idempotent, too costly / impossible to protect
+}
+
+// Recoverable returns the covered fraction.
+func (d DynBreakdown) Recoverable() float64 { return d.Idempotent + d.Ckpt }
+
+// DynBreakdown computes the Figure-6 execution-time split from the
+// baseline profile.
+func (r *Result) DynBreakdown() DynBreakdown {
+	var d DynBreakdown
+	total := float64(r.Prof.Total)
+	if total == 0 {
+		return d
+	}
+	for _, rg := range r.Regions {
+		frac := float64(rg.DynInstrs) / total
+		switch {
+		case rg.Selected && rg.Analysis.Class == idem.Idempotent:
+			d.Idempotent += frac
+		case rg.Selected:
+			d.Ckpt += frac
+		default:
+			d.NoCkpt += frac
+		}
+	}
+	return d
+}
+
+// Coverage is Figure 8's per-application recoverability split for one
+// detection latency, before hardware masking is applied.
+type Coverage struct {
+	Dmax      float64
+	RecovIdem float64 // fraction of unmasked faults recovered in idempotent regions
+	RecovCkpt float64 // fraction recovered in checkpointed regions
+	NotRecov  float64
+}
+
+// RecoverableCoverage applies the Equation-7 α model to the selected
+// regions: a fault is recoverable when it strikes inside a protected
+// region and is detected before control leaves it. Fault sites are
+// uniform over dynamic instructions, so each region weighs by its share
+// of execution time.
+func (r *Result) RecoverableCoverage(dmax float64) Coverage {
+	cov := Coverage{Dmax: dmax}
+	total := float64(r.Prof.Total)
+	if total == 0 {
+		cov.NotRecov = 1
+		return cov
+	}
+	for _, rg := range r.Regions {
+		if !rg.Selected || rg.DynInstrs == 0 {
+			continue
+		}
+		frac := float64(rg.DynInstrs) / total
+		a := model.Alpha(rg.InstanceLen(), dmax)
+		if rg.Analysis.Class == idem.Idempotent {
+			cov.RecovIdem += frac * a
+		} else {
+			cov.RecovCkpt += frac * a
+		}
+	}
+	cov.NotRecov = 1 - cov.RecovIdem - cov.RecovCkpt
+	if cov.NotRecov < 0 {
+		cov.NotRecov = 0
+	}
+	return cov
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encore/internal/alias"
+	"encore/internal/idem"
+	"encore/internal/interp"
+	"encore/internal/ir"
+	"encore/internal/region"
+)
+
+// This file implements the dynamic side of the Profiled alias mode — the
+// paper's stated future work ("more aggressive dynamic memory profiling",
+// §3.1 footnote 2, and §5.3's observation that a large fraction of the
+// statically flagged stores "are in fact innocuous").
+//
+// After regions are formed with the static checkpoint sets, one extra
+// profiling run observes, per region instance, which stores actually
+// overwrite an address that was exposed-read earlier in the same
+// instance. Stores never observed to conflict are pruned from CP. Like
+// Pmin pruning, the result is statistically — not provably — idempotent.
+
+// conflictObserver tracks, per active region instance, the exposed-read
+// and written address sets, and records the stores that dynamically
+// violate idempotence.
+type conflictObserver struct {
+	owner     map[*ir.Block]*region.Region
+	violators map[alias.InstrPos]bool
+
+	stack []instanceState
+}
+
+type instanceState struct {
+	depth   int
+	reg     *region.Region
+	exposed map[int64]bool
+	written map[int64]bool
+}
+
+func newConflictObserver(regions []*region.Region) *conflictObserver {
+	o := &conflictObserver{
+		owner:     map[*ir.Block]*region.Region{},
+		violators: map[alias.InstrPos]bool{},
+	}
+	for _, r := range regions {
+		for b := range r.Blocks {
+			o.owner[b] = r
+		}
+	}
+	return o
+}
+
+// OnInstr implements interp.Hook.
+func (o *conflictObserver) OnInstr(m *interp.Machine, b *ir.Block, idx int) {
+	r := o.owner[b]
+	if r == nil {
+		return
+	}
+	d := m.Depth()
+	// Unwind instances belonging to returned frames.
+	for len(o.stack) > 0 && o.stack[len(o.stack)-1].depth > d {
+		o.stack = o.stack[:len(o.stack)-1]
+	}
+	top := len(o.stack) - 1
+	switch {
+	case top < 0 || o.stack[top].depth < d:
+		o.stack = append(o.stack, freshInstance(d, r))
+		top++
+	case o.stack[top].reg != r || (idx == 0 && b == r.Header):
+		// Region transition within the frame, or a new pass through the
+		// header: a fresh instance begins (the header prologue re-arms).
+		o.stack[top] = freshInstance(d, r)
+	}
+	if idx >= len(b.Instrs) {
+		return
+	}
+	in := &b.Instrs[idx]
+	if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+		return
+	}
+	addr, ok := m.PeekAddr(in)
+	if !ok {
+		return
+	}
+	st := &o.stack[top]
+	if in.Op == ir.OpLoad {
+		if !st.written[addr] {
+			st.exposed[addr] = true
+		}
+		return
+	}
+	if st.exposed[addr] {
+		o.violators[alias.InstrPos{Block: b, Index: idx}] = true
+	}
+	st.written[addr] = true
+}
+
+func freshInstance(d int, r *region.Region) instanceState {
+	return instanceState{depth: d, reg: r, exposed: map[int64]bool{}, written: map[int64]bool{}}
+}
+
+// observeConflicts runs the conflict-profiling pass and prunes every
+// region's checkpoint set to the stores observed to violate idempotence.
+// Call-summarized stores cannot be attributed to a dynamic site and are
+// kept conservatively.
+func observeConflicts(mod *ir.Module, regions []*region.Region, icfg interp.Config) error {
+	o := newConflictObserver(regions)
+	icfg.Hook = o
+	m := interp.New(mod, icfg)
+	if _, err := m.Run(); err != nil {
+		return err
+	}
+	for _, r := range regions {
+		r.PruneCP(func(s idem.StoreRef) bool {
+			return s.FromCall || o.violators[s.Pos]
+		})
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"encore/internal/alias"
+	"encore/internal/interp"
+	"encore/internal/workload"
+)
+
+// TestGoldenMatrix is the configuration sweep: every benchmark × every
+// alias mode × optimizer on/off must produce instrumented binaries whose
+// outputs match the uninstrumented golden run. This is the contract that
+// makes every experiment in the repository trustworthy.
+func TestGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full configuration matrix")
+	}
+	modes := []alias.Mode{alias.Static, alias.Profiled, alias.Optimistic}
+	for _, sp := range workload.All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			base := sp.Build()
+			gm := interp.New(base.Mod, interp.Config{})
+			if _, err := gm.Run(); err != nil {
+				t.Fatal(err)
+			}
+			golden := gm.Checksum(base.Outputs...)
+
+			for _, mode := range modes {
+				for _, optimize := range []bool{false, true} {
+					name := fmt.Sprintf("%v/opt=%v", mode, optimize)
+					art := sp.Build()
+					cfg := DefaultConfig()
+					cfg.AliasMode = mode
+					cfg.Optimize = optimize
+					res, err := Compile(art.Mod, cfg)
+					if err != nil {
+						t.Fatalf("%s: compile: %v", name, err)
+					}
+					m := interp.New(res.Mod, interp.Config{})
+					m.SetRuntime(res.Metas)
+					if _, err := m.Run(); err != nil {
+						t.Fatalf("%s: run: %v", name, err)
+					}
+					if got := m.Checksum(art.Outputs...); got != golden {
+						t.Errorf("%s: output %x != golden %x", name, got, golden)
+					}
+					if res.MeasuredOverhead > 0.30 {
+						t.Errorf("%s: overhead %.1f%% far beyond budget", name, res.MeasuredOverhead*100)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"encore/internal/alias"
+	"encore/internal/interp"
+	"encore/internal/workload"
+)
+
+// TestProfiledAliasMode exercises the dynamic-memory-profiling extension:
+// the instrumented binary must still compute the golden output, pruning
+// can only shrink the checkpoint sets, and the sharper disambiguation can
+// only improve recoverability coverage (possibly spending more of the
+// overhead budget to buy it — e.g. epic's pyramid regions become
+// protectable at all only once profiling proves their bands disjoint).
+func TestProfiledAliasMode(t *testing.T) {
+	for _, name := range []string{"256.bzip2", "183.equake", "epic", "g721encode"} {
+		sp, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := sp.Build()
+		gm := interp.New(base.Mod, interp.Config{})
+		if _, err := gm.Run(); err != nil {
+			t.Fatal(err)
+		}
+		golden := gm.Checksum(base.Outputs...)
+
+		overhead := map[alias.Mode]float64{}
+		coverage := map[alias.Mode]float64{}
+		cpTotal := map[alias.Mode]int{}
+		for _, mode := range []alias.Mode{alias.Static, alias.Profiled, alias.Optimistic} {
+			art := sp.Build()
+			cfg := DefaultConfig()
+			cfg.AliasMode = mode
+			res, err := Compile(art.Mod, cfg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			m := interp.New(res.Mod, interp.Config{})
+			m.SetRuntime(res.Metas)
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			if got := m.Checksum(art.Outputs...); got != golden {
+				t.Errorf("%s/%v: output diverged", name, mode)
+			}
+			overhead[mode] = res.MeasuredOverhead
+			coverage[mode] = res.DynBreakdown().Recoverable()
+			for _, r := range res.Regions {
+				cpTotal[mode] += len(r.Analysis.CP)
+			}
+		}
+		// Note: total CP is not comparable across modes — sharper aliasing
+		// changes which merges are approved, so the region partitions
+		// differ. The meaningful invariant is coverage.
+		if coverage[alias.Profiled] < coverage[alias.Static]-1e-9 {
+			t.Errorf("%s: profiled coverage %.3f below static %.3f",
+				name, coverage[alias.Profiled], coverage[alias.Static])
+		}
+		t.Logf("%s: static=%.2f%%/%.0f%%cov profiled=%.2f%%/%.0f%%cov optimistic=%.2f%%/%.0f%%cov (CP %d->%d)",
+			name, overhead[alias.Static]*100, coverage[alias.Static]*100,
+			overhead[alias.Profiled]*100, coverage[alias.Profiled]*100,
+			overhead[alias.Optimistic]*100, coverage[alias.Optimistic]*100,
+			cpTotal[alias.Static], cpTotal[alias.Profiled])
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+	"encore/internal/ir"
+)
+
+// buildTolerant builds a module whose single hot function carries the
+// Relax-style Tolerant annotation: a dithering loop whose exact output
+// does not matter to the application.
+func buildTolerant() (*ir.Module, *ir.Global) {
+	mod := ir.NewModule("tolerant")
+	in := mod.NewGlobal("in", 64)
+	outG := mod.NewGlobal("out", 64)
+	in.Init = make([]int64, 64)
+	for i := range in.Init {
+		in.Init[i] = int64(i * 13)
+	}
+
+	dither := mod.NewFunc("dither", 0)
+	dither.Tolerant = true
+	{
+		entry := dither.NewBlock("entry")
+		head := dither.NewBlock("head")
+		body := dither.NewBlock("body")
+		exit := dither.NewBlock("exit")
+		inB, outB, i, bound, cond, v := dither.NewReg(), dither.NewReg(), dither.NewReg(), dither.NewReg(), dither.NewReg(), dither.NewReg()
+		entry.GlobalAddr(inB, in)
+		entry.GlobalAddr(outB, outG)
+		entry.Const(i, 0)
+		entry.Jmp(head)
+		head.Const(bound, 64)
+		head.Bin(ir.OpLt, cond, i, bound)
+		head.Br(cond, body, exit)
+		a := dither.NewReg()
+		body.Add(a, inB, i)
+		body.Load(v, a, 0)
+		body.AndI(v, v, 255)
+		body.Add(a, outB, i)
+		body.Store(a, 0, v)
+		body.AddI(i, i, 1)
+		body.Jmp(head)
+		exit.RetVoid()
+		dither.Recompute()
+	}
+
+	f := mod.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	r := f.NewReg()
+	b.Call(r, dither)
+	b.RetVoid()
+	f.Recompute()
+	return mod, outG
+}
+
+// TestTolerantRegionIgnoresFault: with the Relax-style annotation, a
+// detected fault in the dither loop is accepted in place — no rollback,
+// no unrecoverable trap — and execution runs to completion.
+func TestTolerantRegionIgnoresFault(t *testing.T) {
+	mod, _ := buildTolerant()
+	cfg := DefaultConfig()
+	cfg.Budget = 1.0
+	res, err := Compile(mod, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ignorable := 0
+	for _, meta := range res.Metas {
+		if meta.Policy == interp.IgnoreFault {
+			ignorable++
+		}
+	}
+	if ignorable == 0 {
+		t.Fatal("no regions inherited the tolerant policy")
+	}
+
+	m := interp.New(res.Mod, interp.Config{})
+	m.SetRuntime(res.Metas)
+	m.InjectFault(interp.FaultPlan{Mode: interp.CorruptOutput, InjectAt: 150, Bit: 4, DetectLatency: 3})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("tolerant run must complete, got %v", err)
+	}
+	rep := m.FaultReport()
+	if !rep.Detected || !rep.Ignored || rep.RolledBack {
+		t.Errorf("expected detect+ignore without rollback: %+v", rep)
+	}
+}
+
+// TestNonTolerantStillRollsBack: the same program without the annotation
+// rolls back as usual.
+func TestNonTolerantStillRollsBack(t *testing.T) {
+	mod, _ := buildTolerant()
+	mod.FuncByName("dither").Tolerant = false
+	cfg := DefaultConfig()
+	cfg.Budget = 1.0
+	res, err := Compile(mod, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(res.Mod, interp.Config{})
+	m.SetRuntime(res.Metas)
+	m.InjectFault(interp.FaultPlan{Mode: interp.CorruptOutput, InjectAt: 150, Bit: 4, DetectLatency: 3})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep := m.FaultReport()
+	if !rep.RolledBack || rep.Ignored {
+		t.Errorf("expected rollback: %+v", rep)
+	}
+}

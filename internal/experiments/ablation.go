@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"encore/internal/core"
+	"encore/internal/interp"
+	"encore/internal/model"
+	"encore/internal/workload"
+	"encore/internal/xform"
+)
+
+// Ablation experiments quantify the design decisions DESIGN.md calls out:
+// the η merge heuristic, the overhead budget, and the path-signature
+// alternative the paper rejects in §2.1.
+
+// AblEtaRow summarizes one η setting across the suite.
+type AblEtaRow struct {
+	Eta          float64
+	MeanOverhead float64
+	MeanRecov    float64 // mean recoverable execution fraction
+	MeanRegions  float64 // final regions per benchmark
+	MeanInstance float64 // mean selected-region instance length
+}
+
+// AblEtaResult is the η ablation dataset.
+type AblEtaResult struct{ Rows []AblEtaRow }
+
+// AblationEta sweeps the Equation-5 merge threshold, showing the
+// coverage/overhead/granularity trade-off region merging controls.
+func (h *Harness) AblationEta(etas []float64) (*AblEtaResult, error) {
+	if len(etas) == 0 {
+		etas = []float64{0, 0.5, 2, 8}
+	}
+	res := &AblEtaResult{}
+	for _, eta := range etas {
+		row := AblEtaRow{Eta: eta}
+		n := 0
+		for _, sp := range h.specs() {
+			cfg := core.DefaultConfig()
+			cfg.Eta = eta
+			r, _, err := compile(sp, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.MeanOverhead += r.MeasuredOverhead
+			row.MeanRecov += r.DynBreakdown().Recoverable()
+			row.MeanRegions += float64(len(r.Regions))
+			var inst, sel float64
+			for _, rg := range r.Regions {
+				if rg.Selected && rg.DynEntries > 0 {
+					inst += rg.InstanceLen()
+					sel++
+				}
+			}
+			if sel > 0 {
+				row.MeanInstance += inst / sel
+			}
+			n++
+		}
+		if n > 0 {
+			row.MeanOverhead /= float64(n)
+			row.MeanRecov /= float64(n)
+			row.MeanRegions /= float64(n)
+			row.MeanInstance /= float64(n)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the η ablation table.
+func (r *AblEtaResult) Render(w io.Writer) {
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "Ablation: η merge threshold (Equation 5)\n")
+	fmt.Fprintln(tw, "η\toverhead\trecoverable\tregions/app\tmean instance")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%.1f\t%s\t%s\t%.1f\t%.0f\n",
+			row.Eta, pct(row.MeanOverhead), pct(row.MeanRecov), row.MeanRegions, row.MeanInstance)
+	}
+	tw.Flush()
+}
+
+// AblBudgetRow summarizes one overhead budget across the suite.
+type AblBudgetRow struct {
+	Budget       float64
+	MeanOverhead float64
+	MeanRecov    float64
+	MeanCovD100  float64 // α-scaled coverage at Dmax = 100
+}
+
+// AblBudgetResult is the budget ablation dataset.
+type AblBudgetResult struct{ Rows []AblBudgetRow }
+
+// AblationBudget sweeps the performance budget, tracing the paper's
+// central dial: how much recoverability each point of overhead buys.
+func (h *Harness) AblationBudget(budgets []float64) (*AblBudgetResult, error) {
+	if len(budgets) == 0 {
+		budgets = []float64{0.01, 0.05, 0.10, 0.20, 0.40}
+	}
+	res := &AblBudgetResult{}
+	for _, b := range budgets {
+		row := AblBudgetRow{Budget: b}
+		n := 0
+		for _, sp := range h.specs() {
+			cfg := core.DefaultConfig()
+			cfg.Budget = b
+			r, _, err := compile(sp, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cov := r.RecoverableCoverage(100)
+			row.MeanOverhead += r.MeasuredOverhead
+			row.MeanRecov += r.DynBreakdown().Recoverable()
+			row.MeanCovD100 += cov.RecovIdem + cov.RecovCkpt
+			n++
+		}
+		if n > 0 {
+			row.MeanOverhead /= float64(n)
+			row.MeanRecov /= float64(n)
+			row.MeanCovD100 /= float64(n)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the budget ablation table.
+func (r *AblBudgetResult) Render(w io.Writer) {
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "Ablation: overhead budget (§3.4.2 dial)\n")
+	fmt.Fprintln(tw, "budget\toverhead\trecoverable\tα-coverage(D=100)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			pct(row.Budget), pct(row.MeanOverhead), pct(row.MeanRecov), pct(row.MeanCovD100))
+	}
+	tw.Flush()
+}
+
+// AblSignatureRow compares Encore with the §2.1 path-signature
+// alternative on one benchmark.
+type AblSignatureRow struct {
+	App               string
+	EncoreOverhead    float64
+	SignatureOverhead float64
+}
+
+// AblSignatureResult is the signature ablation dataset.
+type AblSignatureResult struct{ Rows []AblSignatureRow }
+
+// AblationSignature measures the overhead of software path-signature
+// tracking — the mechanism Encore's SEME-header rollback exists to avoid.
+func (h *Harness) AblationSignature() (*AblSignatureResult, error) {
+	res := &AblSignatureResult{}
+	for _, sp := range h.specs() {
+		// Encore overhead.
+		r, _, err := compile(sp, core.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		// Signature overhead: instrument a fresh build and re-measure.
+		art := sp.Build()
+		base := interp.New(art.Mod, interp.Config{})
+		if _, err := base.Run(); err != nil {
+			return nil, err
+		}
+		baseInstrs := base.Count
+		sigArt := sp.Build()
+		xform.InstrumentPathSignature(sigArt.Mod)
+		if err := sigArt.Mod.Verify(); err != nil {
+			return nil, fmt.Errorf("%s: signature pass broke the module: %w", sp.Name, err)
+		}
+		for _, f := range sigArt.Mod.Funcs {
+			f.Recompute()
+		}
+		sm := interp.New(sigArt.Mod, interp.Config{})
+		if _, err := sm.Run(); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblSignatureRow{
+			App:               sp.Name,
+			EncoreOverhead:    r.MeasuredOverhead,
+			SignatureOverhead: float64(sm.Count-baseInstrs) / float64(baseInstrs),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the signature ablation table.
+func (r *AblSignatureResult) Render(w io.Writer) {
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "Ablation: Encore vs software path-signature tracking (§2.1)\n")
+	fmt.Fprintln(tw, "app\tEncore\tpath signatures")
+	acc := meanAcc{}
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", row.App, pct(row.EncoreOverhead), pct(row.SignatureOverhead))
+		acc.add(row.EncoreOverhead, row.SignatureOverhead)
+	}
+	m := acc.means()
+	fmt.Fprintf(tw, "Mean\t%s\t%s\n", pct(m[0]), pct(m[1]))
+	tw.Flush()
+}
+
+// AblDetectorRow compares detector latency distributions on one benchmark.
+type AblDetectorRow struct {
+	App      string
+	Uniform  float64 // α-weighted coverage, uniform latency on [0, Dmax]
+	FastBias float64 // triangular (fast-biased) latency on [0, Dmax]
+}
+
+// AblDetectorResult is the detector-distribution ablation dataset.
+type AblDetectorResult struct {
+	Dmax float64
+	Rows []AblDetectorRow
+}
+
+// AblationDetector generalizes Equation 6 beyond the paper's uniform
+// latency assumption: the same region structure is scored under a uniform
+// detector and a fast-biased (triangular) one via numeric integration.
+func (h *Harness) AblationDetector(dmax float64) (*AblDetectorResult, error) {
+	if dmax <= 0 {
+		dmax = 100
+	}
+	res := &AblDetectorResult{Dmax: dmax}
+	rows := make([]AblDetectorRow, len(h.specs()))
+	err := h.forEachSpec(func(i int, sp workload.Spec) error {
+		r, _, err := compile(sp, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		row := AblDetectorRow{App: sp.Name}
+		total := float64(r.Prof.Total)
+		for _, rg := range r.Regions {
+			if !rg.Selected || rg.DynInstrs == 0 || total == 0 {
+				continue
+			}
+			frac := float64(rg.DynInstrs) / total
+			n := rg.InstanceLen()
+			row.Uniform += frac * model.AlphaNumeric(n, model.Uniform{Max: n}, model.Uniform{Max: dmax}, 200)
+			row.FastBias += frac * model.AlphaNumeric(n, model.Uniform{Max: n}, model.Triangular{Max: dmax}, 200)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// Render writes the detector ablation table.
+func (r *AblDetectorResult) Render(w io.Writer) {
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "Ablation: detector latency distribution (Equation 6, Dmax=%.0f)\n", r.Dmax)
+	fmt.Fprintln(tw, "app\tuniform\tfast-biased")
+	acc := meanAcc{}
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", row.App, pct(row.Uniform), pct(row.FastBias))
+		acc.add(row.Uniform, row.FastBias)
+	}
+	m := acc.means()
+	fmt.Fprintf(tw, "Mean\t%s\t%s\n", pct(m[0]), pct(m[1]))
+	tw.Flush()
+}

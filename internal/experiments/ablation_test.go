@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestAblations runs the three design-decision ablations on a benchmark
+// subset and checks their expected shapes.
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	h := &Harness{Quick: true, Apps: []string{"164.gzip", "175.vpr", "172.mgrid", "g721encode", "epic", "rawcaudio"}}
+
+	eta, err := h.AblationEta(nil)
+	if err != nil {
+		t.Fatalf("eta: %v", err)
+	}
+	// Larger η means fewer approved merges, so never more regions at η=0
+	// than at η=8.
+	if eta.Rows[0].MeanRegions > eta.Rows[len(eta.Rows)-1].MeanRegions+1e-9 {
+		t.Errorf("η=0 should merge at least as aggressively as η=8: %.1f vs %.1f regions",
+			eta.Rows[0].MeanRegions, eta.Rows[len(eta.Rows)-1].MeanRegions)
+	}
+
+	bud, err := h.AblationBudget(nil)
+	if err != nil {
+		t.Fatalf("budget: %v", err)
+	}
+	for i := 1; i < len(bud.Rows); i++ {
+		if bud.Rows[i].MeanRecov < bud.Rows[i-1].MeanRecov-1e-9 {
+			t.Errorf("coverage must not shrink with budget: %.3f @%.2f -> %.3f @%.2f",
+				bud.Rows[i-1].MeanRecov, bud.Rows[i-1].Budget,
+				bud.Rows[i].MeanRecov, bud.Rows[i].Budget)
+		}
+		if bud.Rows[i].MeanOverhead < bud.Rows[i-1].MeanOverhead-1e-9 {
+			t.Errorf("overhead must not shrink with budget")
+		}
+	}
+
+	sig, err := h.AblationSignature()
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	for _, row := range sig.Rows {
+		if row.SignatureOverhead < row.EncoreOverhead {
+			t.Errorf("%s: path signatures (%.1f%%) should cost more than Encore (%.1f%%)",
+				row.App, row.SignatureOverhead*100, row.EncoreOverhead*100)
+		}
+		if row.SignatureOverhead < 0.10 {
+			t.Errorf("%s: signature overhead implausibly low: %.3f", row.App, row.SignatureOverhead)
+		}
+	}
+
+	if testing.Verbose() {
+		eta.Render(os.Stdout)
+		bud.Render(os.Stdout)
+		sig.Render(os.Stdout)
+	}
+}
+
+// TestInputShift asserts the §3.4.1 risk claim: protection derived from
+// the training profile must keep working on fresh inputs — fault-free
+// outputs stay correct everywhere, and mean survival must not collapse.
+func TestInputShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("input-shift campaign")
+	}
+	h := &Harness{Quick: true, Apps: []string{"175.vpr", "unepic", "g721encode", "172.mgrid"}}
+	r, err := h.AblationInputShift(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train, ref float64
+	for _, row := range r.Rows {
+		if !row.OutputOK {
+			t.Errorf("%s: instrumented output wrong on shifted input", row.App)
+		}
+		train += row.TrainRecovered
+		ref += row.RefRecovered
+	}
+	n := float64(len(r.Rows))
+	if ref/n < train/n-0.15 {
+		t.Errorf("survival collapsed under input shift: train %.2f, ref %.2f", train/n, ref/n)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestAllExperiments regenerates every table and figure in Quick mode and
+// checks the headline shapes against the paper:
+//   - Figure 5: pruning (Pmin=0.0) raises the idempotent region fraction.
+//   - Figure 6: FP/media spend more time in recoverable code than INT.
+//   - Figure 7a: optimistic alias analysis never costs more than static.
+//   - Figure 8: coverage at Dmax=10 ≥ coverage at Dmax=1000; mean ≥ masking.
+func TestAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	h := &Harness{Quick: true}
+
+	fig1, err := h.Fig1()
+	if err != nil {
+		t.Fatalf("fig1: %v", err)
+	}
+	short, long := 0.0, 0.0
+	for _, row := range fig1.Rows {
+		short += row.Fractions[10]
+		long += row.Fractions[1000]
+	}
+	if short < long {
+		t.Errorf("fig1: short windows should be idempotent more often (10: %.2f vs 1000: %.2f)", short, long)
+	}
+
+	fig5, err := h.Fig5()
+	if err != nil {
+		t.Fatalf("fig5: %v", err)
+	}
+	unpruned, pruned := fig5.MeanIdempotent(0), fig5.MeanIdempotent(1)
+	if pruned < unpruned-1e-9 {
+		t.Errorf("fig5: Pmin=0.0 should not lower idempotence (%.3f -> %.3f)", unpruned, pruned)
+	}
+
+	fig6, err := h.Fig6()
+	if err != nil {
+		t.Fatalf("fig6: %v", err)
+	}
+	var intRec, fpRec float64
+	var nInt, nFP int
+	for _, row := range fig6.Rows {
+		switch row.Suite {
+		case "SPEC2K-INT":
+			intRec += row.B.Recoverable()
+			nInt++
+		case "SPEC2K-FP":
+			fpRec += row.B.Recoverable()
+			nFP++
+		}
+	}
+	if nInt > 0 && nFP > 0 && fpRec/float64(nFP) < intRec/float64(nInt) {
+		t.Errorf("fig6: FP should be at least as recoverable as INT (fp %.2f, int %.2f)",
+			fpRec/float64(nFP), intRec/float64(nInt))
+	}
+
+	fig7a, err := h.Fig7a()
+	if err != nil {
+		t.Fatalf("fig7a: %v", err)
+	}
+	for _, row := range fig7a.Rows {
+		if row.Optimistic > row.Static+0.02 {
+			t.Errorf("fig7a %s: optimistic overhead %.3f exceeds static %.3f", row.App, row.Optimistic, row.Static)
+		}
+		// Profiled overhead may legitimately exceed static when the
+		// sharper analysis makes previously abandoned regions affordable;
+		// the budget still caps it.
+		if row.Profiled > 0.25 {
+			t.Errorf("fig7a %s: profiled overhead %.3f blew the budget", row.App, row.Profiled)
+		}
+	}
+
+	fig7b, err := h.Fig7b()
+	if err != nil {
+		t.Fatalf("fig7b: %v", err)
+	}
+
+	fig8, err := h.Fig8()
+	if err != nil {
+		t.Fatalf("fig8: %v", err)
+	}
+	if fig8.MeanTotal(2) < fig8.MeanTotal(0)-1e-9 {
+		t.Errorf("fig8: Dmax=10 coverage %.3f below Dmax=1000 coverage %.3f",
+			fig8.MeanTotal(2), fig8.MeanTotal(0))
+	}
+
+	t1, err := h.Table1("175.vpr")
+	if err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+	// Encore's storage must be orders of magnitude below the baselines.
+	if t1.Rows[2].StorageBytes*100 > t1.Rows[0].StorageBytes {
+		t.Errorf("table1: Encore storage %dB not ≪ enterprise %dB",
+			t1.Rows[2].StorageBytes, t1.Rows[0].StorageBytes)
+	}
+
+	if testing.Verbose() {
+		for _, r := range []interface{ Render(w *os.File) }{} {
+			_ = r
+		}
+		fig1.Render(os.Stdout)
+		fig5.Render(os.Stdout)
+		fig6.Render(os.Stdout)
+		fig7a.Render(os.Stdout)
+		fig7b.Render(os.Stdout)
+		fig8.Render(os.Stdout)
+		t1.Render(os.Stdout)
+	}
+}

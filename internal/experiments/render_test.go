@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderSmoke: every result type renders a non-empty table with a
+// Mean row on a small benchmark subset.
+func TestRenderSmoke(t *testing.T) {
+	h := &Harness{Quick: true, Apps: []string{"175.vpr", "rawdaudio"}}
+
+	var out strings.Builder
+	check := func(name string) {
+		s := out.String()
+		if !strings.Contains(s, "Mean") && !strings.Contains(s, "scheme") {
+			t.Errorf("%s render missing summary row:\n%s", name, s)
+		}
+		if len(s) < 40 {
+			t.Errorf("%s render suspiciously short", name)
+		}
+		out.Reset()
+	}
+
+	if r, err := h.Fig1(); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&out)
+		check("fig1")
+	}
+	if r, err := h.Fig5(); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&out)
+		check("fig5")
+	}
+	if r, err := h.Fig6(); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&out)
+		check("fig6")
+	}
+	if r, err := h.Fig7a(); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&out)
+		check("fig7a")
+	}
+	if r, err := h.Fig7b(); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&out)
+		check("fig7b")
+	}
+	if r, err := h.Fig8(); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&out)
+		check("fig8")
+	}
+	if r, err := h.Table1("175.vpr"); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&out)
+		check("table1")
+	}
+	if r, err := h.AblationDetector(100); err != nil {
+		t.Fatal(err)
+	} else {
+		r.Render(&out)
+		check("abl-detector")
+	}
+}

@@ -1,0 +1,357 @@
+package idem
+
+import (
+	"sort"
+
+	"encore/internal/alias"
+	"encore/internal/cfg"
+	"encore/internal/ir"
+)
+
+// node is one vertex of the hierarchical analysis graph: either a single
+// basic block or an entire (already summarized) loop collapsed to a
+// super-node, "treated as if it were simply another basic block" (§3.1.2).
+type node struct {
+	block *ir.Block    // non-nil for plain blocks
+	loop  *cfg.Loop    // non-nil for loop super-nodes
+	sum   *loopSummary // super-node summary
+
+	preds, succs []*node
+
+	// Effects.
+	as      []StoreRef // stores performed by this node (call effects included)
+	asLocs  alias.Set  // locations of as, for guard computation
+	eaLocal alias.Set  // locally exposed load addresses
+	unknown bool       // node has unboundable effects
+
+	// Dataflow results.
+	rs map[StoreRef]bool // reachable stores at/after this node
+	ga alias.Set         // guaranteed-overwritten before reaching node
+	ea alias.Set         // exposed at/before this node (inclusive)
+}
+
+func (n *node) headerBlock() *ir.Block {
+	if n.block != nil {
+		return n.block
+	}
+	return n.loop.Header
+}
+
+// blockEffects extracts the memory effects of basic block b in instruction
+// order: exposed loads (loads not locally guarded by earlier same-block
+// stores), the store set, and instantiated callee effects.
+func (e *Env) blockEffects(n *node, b *ir.Block) {
+	fi := e.MI.Info(b.Fn)
+	n.asLocs = alias.Set{}
+	n.eaLocal = alias.Set{}
+	guarded := alias.Set{} // locations stored earlier within this block
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		pos := alias.InstrPos{Block: b, Index: i}
+		switch in.Op {
+		case ir.OpLoad:
+			loc := fi.RefOf(pos)
+			if !guarded.MustCovers(loc) {
+				n.eaLocal.Add(loc)
+			}
+		case ir.OpStore:
+			loc := fi.RefOf(pos)
+			n.as = append(n.as, StoreRef{Pos: pos, Loc: loc})
+			n.asLocs.Add(loc)
+			guarded.Add(loc)
+		case ir.OpCall:
+			sum := e.MI.Summaries[in.Callee]
+			st, ld, unk := alias.Instantiate(sum, fi.CallArgs[pos])
+			if unk {
+				n.unknown = true
+			}
+			// Callee load/store interleaving is unknown: expose loads
+			// first (conservative), then account stores.
+			for l := range ld {
+				if !guarded.MustCovers(l) {
+					n.eaLocal.Add(l)
+				}
+			}
+			for l := range st {
+				n.as = append(n.as, StoreRef{Pos: pos, Loc: l, FromCall: true})
+				n.asLocs.Add(l)
+				guarded.Add(l)
+			}
+		case ir.OpExtern:
+			n.unknown = true
+			n.eaLocal.Add(alias.Unknown)
+			n.as = append(n.as, StoreRef{Pos: pos, Loc: alias.Unknown, FromCall: true})
+			n.asLocs.Add(alias.Unknown)
+		}
+	}
+}
+
+// gaGain returns the addresses a node guarantees to have overwritten once
+// control has passed through it: every store of a basic block (straight-
+// line code always executes to the end), or the loop-wide guaranteed set
+// for a super-node.
+func (n *node) gaGain() alias.Set {
+	if n.loop != nil {
+		return n.sum.ga
+	}
+	return n.asLocs
+}
+
+// buildGraph assembles the collapsed analysis graph over the given block
+// set: maximal fully-contained loops become super-nodes; all other blocks
+// become plain nodes. Blocks failing the Pmin filter (relative to header)
+// are omitted, as are nodes unreachable from the entry after pruning.
+// ok=false means the region cannot be analyzed (partially contained or
+// unsummarizable loops). When skip is non-nil that loop itself is not
+// collapsed (used while summarizing the loop's own body).
+func (e *Env) buildGraph(header *ir.Block, blocks map[*ir.Block]bool, skip *cfg.Loop) (nodes []*node, entry *node, ok bool) {
+	// Identify maximal loops fully contained in the block set.
+	owner := map[*ir.Block]*node{}
+	var superNodes []*node
+	for _, l := range e.Loops.InnerToOuter() {
+		if l == skip || !blocks[l.Header] {
+			continue
+		}
+		contained := true
+		for b := range l.Blocks {
+			if !blocks[b] {
+				contained = false
+				break
+			}
+		}
+		if !contained {
+			// A loop straddling the region boundary: the header is inside
+			// but the body is not. Intervals never produce this; bail out.
+			if blocks[l.Header] && l.Header != header {
+				return nil, nil, false
+			}
+			continue
+		}
+		// Maximal = parent loop (if any) is not also fully contained.
+		if p := l.Parent; p != nil && p != skip && blocks[p.Header] {
+			pc := true
+			for b := range p.Blocks {
+				if !blocks[b] {
+					pc = false
+					break
+				}
+			}
+			if pc {
+				continue // an outer loop will claim these blocks
+			}
+		}
+		sum := e.summarize(l)
+		if sum == nil {
+			return nil, nil, false
+		}
+		sn := &node{loop: l, sum: sum}
+		sn.as = sum.as
+		sn.asLocs = sum.asLocs
+		sn.eaLocal = sum.ea
+		sn.unknown = sum.unknown
+		superNodes = append(superNodes, sn)
+		for b := range l.Blocks {
+			owner[b] = sn
+		}
+	}
+	// Plain block nodes, respecting the Pmin filter.
+	for b := range blocks {
+		if owner[b] != nil {
+			continue
+		}
+		if e.pruned(b, header) {
+			continue
+		}
+		n := &node{block: b}
+		e.blockEffects(n, b)
+		owner[b] = n
+		nodes = append(nodes, n)
+	}
+	// Prune whole loops whose header fails the filter.
+	for _, sn := range superNodes {
+		if e.pruned(sn.loop.Header, header) {
+			for b := range sn.loop.Blocks {
+				delete(owner, b)
+			}
+			continue
+		}
+		nodes = append(nodes, sn)
+	}
+	entry = owner[header]
+	if entry == nil {
+		return nil, nil, false
+	}
+	// Edges between distinct nodes.
+	type edge struct{ from, to *node }
+	seen := map[edge]bool{}
+	for b := range blocks {
+		from := owner[b]
+		if from == nil {
+			continue
+		}
+		for _, s := range b.Succs {
+			to := owner[s]
+			if to == nil || to == from {
+				continue
+			}
+			// Edges back to the region entry (the region's own loop) stay
+			// inside the entry super-node; a back edge to a plain entry
+			// block would make the graph cyclic and is handled by the
+			// topological-sort failure path.
+			ee := edge{from, to}
+			if !seen[ee] {
+				seen[ee] = true
+				from.succs = append(from.succs, to)
+				to.preds = append(to.preds, from)
+			}
+		}
+	}
+	// Keep only nodes reachable from the entry.
+	reach := map[*node]bool{entry: true}
+	work := []*node{entry}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range n.succs {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	var kept []*node
+	for _, n := range nodes {
+		if reach[n] {
+			kept = append(kept, n)
+		}
+	}
+	for _, n := range kept {
+		n.preds = filterNodes(n.preds, reach)
+		n.succs = filterNodes(n.succs, reach)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		return kept[i].headerBlock().ID < kept[j].headerBlock().ID
+	})
+	return kept, entry, true
+}
+
+func filterNodes(ns []*node, keep map[*node]bool) []*node {
+	out := ns[:0]
+	for _, n := range ns {
+		if keep[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// topoSort orders nodes entry-first so that every node follows all of its
+// predecessors. ok=false when the collapsed graph still contains a cycle
+// (irreducible control flow).
+func topoSort(nodes []*node, entry *node) ([]*node, bool) {
+	indeg := map[*node]int{}
+	for _, n := range nodes {
+		indeg[n] = len(n.preds)
+	}
+	var order []*node
+	queue := []*node{}
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, s := range n.succs {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	return order, len(order) == len(nodes)
+}
+
+// runDataflow computes GA/EA forward (Equations 2–3) and RS backward
+// (Equation 1) over a topologically ordered acyclic node graph.
+func runDataflow(order []*node, mode alias.Mode) {
+	// Forward: GA then EA, in that order (paper: "the guarded address set
+	// must be updated before the exposed address set").
+	for _, n := range order {
+		if len(n.preds) == 0 {
+			n.ga = alias.Set{}
+		} else {
+			var g alias.Set
+			for _, p := range n.preds {
+				through := p.ga.Clone()
+				through.AddAll(p.gaGain())
+				if g == nil {
+					g = through
+				} else {
+					g = g.Intersect(through)
+				}
+			}
+			n.ga = g
+		}
+		n.ea = alias.Set{}
+		for _, p := range n.preds {
+			n.ea.AddAll(p.ea)
+		}
+		for l := range n.eaLocal {
+			if !n.ga.MustCovers(l) {
+				n.ea.Add(l)
+			}
+		}
+	}
+	// Backward: RS.
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		n.rs = map[StoreRef]bool{}
+		for _, s := range n.succs {
+			for k := range s.rs {
+				n.rs[k] = true
+			}
+		}
+		for _, s := range n.as {
+			n.rs[s] = true
+		}
+	}
+	_ = mode
+}
+
+// collectViolations applies Equation 4 at every node and gathers the
+// checkpoint set: stores reachable at a node that may-alias an address
+// exposed at that node.
+func collectViolations(order []*node, mode alias.Mode) []StoreRef {
+	cp := map[StoreRef]bool{}
+	for _, n := range order {
+		if len(n.ea) == 0 {
+			continue
+		}
+		for s := range n.rs {
+			if cp[s] {
+				continue
+			}
+			for l := range n.ea {
+				if alias.MayAlias(s.Loc, l, mode) {
+					cp[s] = true
+					break
+				}
+			}
+		}
+	}
+	out := make([]StoreRef, 0, len(cp))
+	for s := range cp {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Block.ID != b.Block.ID {
+			return a.Block.ID < b.Block.ID
+		}
+		return a.Index < b.Index
+	})
+	return out
+}

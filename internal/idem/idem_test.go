@@ -1,0 +1,414 @@
+package idem
+
+import (
+	"testing"
+
+	"encore/internal/alias"
+	"encore/internal/ir"
+)
+
+// buildFigure4 reconstructs the paper's Figure 4 example region: eight
+// basic blocks over three addresses A, B, C containing four potential WAR
+// pairs — (4,9) on A, (7,10) on B, (8,12) and (11,12) on C — of which only
+// the (7,10) pair can violate idempotence at runtime: the load of B in bb5
+// is reachable along bb1→bb3→bb5 without passing a store to B.
+//
+//	bb1 {st A(1)}                  → bb2, bb3
+//	bb2 {st B(2), st C(3), ld B(6)} → bb4
+//	bb3 {ld A(4), st C(5)}         → bb5
+//	bb4 {}                          → bb6
+//	bb5 {ld B(7)}                   → bb6
+//	bb6 {ld C(8)}                   → bb7, bb8
+//	bb7 {st A(9), st B(10), ld C(11)} → bb8
+//	bb8 {st C(12)}                  → ret
+func buildFigure4() (*ir.Func, map[string]*ir.Block, map[string]*ir.Global) {
+	m := ir.NewModule("fig4")
+	A := m.NewGlobal("A", 1)
+	B := m.NewGlobal("B", 1)
+	C := m.NewGlobal("C", 1)
+	f := m.NewFunc("main", 0)
+
+	bs := map[string]*ir.Block{}
+	for _, n := range []string{"bb1", "bb2", "bb3", "bb4", "bb5", "bb6", "bb7", "bb8"} {
+		bs[n] = f.NewBlock(n)
+	}
+	aB, bB, cB := f.NewReg(), f.NewReg(), f.NewReg()
+	v, cond := f.NewReg(), f.NewReg()
+
+	bb := bs["bb1"]
+	bb.GlobalAddr(aB, A)
+	bb.GlobalAddr(bB, B)
+	bb.GlobalAddr(cB, C)
+	bb.Const(v, 7)
+	bb.Const(cond, 1)
+	bb.Store(aB, 0, v) // 1: store A
+	bb.Br(cond, bs["bb2"], bs["bb3"])
+
+	bb = bs["bb2"]
+	bb.Store(bB, 0, v) // 2: store B
+	bb.Store(cB, 0, v) // 3: store C
+	bb.Load(v, bB, 0)  // 6: load B (locally guarded)
+	bb.Jmp(bs["bb4"])
+
+	bb = bs["bb3"]
+	bb.Load(v, aB, 0)  // 4: load A (guarded by 1)
+	bb.Store(cB, 0, v) // 5: store C
+	bb.Jmp(bs["bb5"])
+
+	bs["bb4"].Jmp(bs["bb6"])
+
+	bb = bs["bb5"]
+	bb.Load(v, bB, 0) // 7: load B — EXPOSED along bb1→bb3→bb5
+	bb.Jmp(bs["bb6"])
+
+	bb = bs["bb6"]
+	bb.Load(v, cB, 0) // 8: load C (guarded by 3 or 5)
+	bb.Br(cond, bs["bb7"], bs["bb8"])
+
+	bb = bs["bb7"]
+	bb.Store(aB, 0, v) // 9: store A
+	bb.Store(bB, 0, v) // 10: store B — THE violating store
+	bb.Load(v, cB, 0)  // 11: load C (guarded)
+	bb.Jmp(bs["bb8"])
+
+	bb = bs["bb8"]
+	bb.Store(cB, 0, v) // 12: store C
+	bb.RetVoid()
+
+	f.Recompute()
+	return f, bs, map[string]*ir.Global{"A": A, "B": B, "C": C}
+}
+
+func analyzeWholeFunc(t *testing.T, f *ir.Func, mode alias.Mode) (*Env, *Result) {
+	t.Helper()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	mi := alias.AnalyzeModule(f.Mod)
+	env := NewEnv(f, mi, mode)
+	blocks := map[*ir.Block]bool{}
+	for _, b := range f.Blocks {
+		blocks[b] = true
+	}
+	return env, env.AnalyzeRegion(f.Entry(), blocks)
+}
+
+// TestFigure4Golden checks the worked example end to end: exactly one
+// checkpoint (instruction 10) and the paper's published per-block sets.
+func TestFigure4Golden(t *testing.T) {
+	f, bs, gs := buildFigure4()
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+
+	if res.Class != NonIdempotent {
+		t.Fatalf("class = %v, want non-idempotent", res.Class)
+	}
+	if res.Unprotectable {
+		t.Fatal("region must be protectable")
+	}
+	if len(res.CP) != 1 {
+		t.Fatalf("CP = %v, want exactly the store of instruction 10", res.CP)
+	}
+	cp := res.CP[0]
+	if cp.Pos.Block != bs["bb7"] || cp.Pos.Index != 1 {
+		t.Errorf("CP store at %s[%d], want bb7[1] (store B)", cp.Pos.Block, cp.Pos.Index)
+	}
+	if cp.Loc.Global != gs["B"] {
+		t.Errorf("CP store targets %v, want B", cp.Loc)
+	}
+
+	locOf := func(g *ir.Global) alias.Loc {
+		return alias.Loc{Kind: alias.KindGlobal, Global: g, Off: 0, OffKnown: true}
+	}
+	A, B, C := locOf(gs["A"]), locOf(gs["B"]), locOf(gs["C"])
+
+	wantGA := map[string]alias.Set{
+		"bb1": alias.NewSet(),
+		"bb2": alias.NewSet(A),
+		"bb3": alias.NewSet(A),
+		"bb4": alias.NewSet(A, B, C),
+		"bb5": alias.NewSet(A, C),
+		"bb6": alias.NewSet(A, C),
+		"bb7": alias.NewSet(A, C),
+		"bb8": alias.NewSet(A, C), // paper Figure 4b: GA(bb8) = {A, C}
+	}
+	for name, want := range wantGA {
+		if got := res.GA[bs[name]]; !got.Equal(want) {
+			t.Errorf("GA(%s) = %v, want %v", name, got, want)
+		}
+	}
+	wantEA := map[string]alias.Set{
+		"bb1": alias.NewSet(),
+		"bb2": alias.NewSet(),
+		"bb3": alias.NewSet(),
+		"bb5": alias.NewSet(B), // the exposed load of instruction 7
+		"bb6": alias.NewSet(B),
+		"bb8": alias.NewSet(B), // paper Figure 4b: EA(bb8) = {B}
+	}
+	for name, want := range wantEA {
+		if got := res.EA[bs[name]]; !got.Equal(want) {
+			t.Errorf("EA(%s) = %v, want %v", name, got, want)
+		}
+	}
+	// RS(bb1) covers all seven stores; RS(bb8) only instruction 12.
+	if got := len(res.RS[bs["bb1"]]); got != 7 {
+		t.Errorf("RS(bb1) has %d stores, want 7", got)
+	}
+	if got := len(res.RS[bs["bb8"]]); got != 1 {
+		t.Errorf("RS(bb8) has %d stores, want 1", got)
+	}
+}
+
+// TestFigure4Optimistic: under optimistic aliasing the same region is
+// still non-idempotent — the B WAR involves must-aliasing references.
+func TestFigure4Optimistic(t *testing.T) {
+	f, _, _ := buildFigure4()
+	_, res := analyzeWholeFunc(t, f, alias.Optimistic)
+	if res.Class != NonIdempotent || len(res.CP) != 1 {
+		t.Errorf("optimistic: class=%v CP=%v, want non-idempotent with 1 ckpt", res.Class, res.CP)
+	}
+}
+
+// loopFunc builds: for i in [0,n): t = X[0]; X[0] = t+1  — a same-
+// iteration WAR on a fixed address inside a loop.
+func loopFunc(sameIteration bool) (*ir.Func, *ir.Block) {
+	m := ir.NewModule("loop")
+	X := m.NewGlobal("X", 4)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	xB, i, bound, cond, tv := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(xB, X)
+	entry.Const(i, 0)
+	entry.Jmp(head)
+	head.Const(bound, 10)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, body, exit)
+	if sameIteration {
+		body.Load(tv, xB, 0)
+		body.AddI(tv, tv, 1)
+		body.Store(xB, 0, tv)
+	} else {
+		// Cross-iteration only: load X[0], store X[1]... then next
+		// iteration loads X[1] — model with load X[0]; store X[0] swapped
+		// order: store first, load after. Within one iteration the load
+		// is guarded; across iterations the load of iteration k+1 reads
+		// what iteration k stored — no WAR. Instead use: store X[0] then
+		// load X[1], store X[1]'s WAR partner... keep it simple: load
+		// X[1] then store X[0]; cross-iteration WAR via X handled by
+		// RS_l = AS_l only if they may alias (distinct offsets: no).
+		body.Load(tv, xB, 1)
+		body.Store(xB, 0, tv)
+	}
+	body.AddI(i, i, 1)
+	body.Jmp(head)
+	exit.RetVoid()
+	f.Recompute()
+	return f, head
+}
+
+func TestLoopSameIterationWAR(t *testing.T) {
+	f, _ := loopFunc(true)
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != NonIdempotent {
+		t.Fatalf("class = %v, want non-idempotent (RMW in loop)", res.Class)
+	}
+	if len(res.CP) != 1 {
+		t.Errorf("CP = %v, want the single X[0] store", res.CP)
+	}
+}
+
+func TestLoopDistinctOffsetsIdempotent(t *testing.T) {
+	f, _ := loopFunc(false)
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != Idempotent {
+		t.Fatalf("class = %v (CP %v), want idempotent: X[1] load vs X[0] store cannot alias",
+			res.Class, res.CP)
+	}
+}
+
+// TestCrossIterationWAR: load X[i] at top, store X[i-...]-style conflict
+// across iterations via unknown offsets — RS_l = AS_l must catch it.
+func TestCrossIterationWAR(t *testing.T) {
+	m := ir.NewModule("xiter")
+	X := m.NewGlobal("X", 16)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	xB, i, bound, cond, tv, addr := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(xB, X)
+	entry.Const(i, 0)
+	entry.Jmp(head)
+	head.Const(bound, 10)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, body, exit)
+	// Iteration k: load X[i+1] (next iteration's store target!), then
+	// store X[i]. Within one iteration the references differ; across
+	// iterations the store of k+1 overwrites what k read.
+	body.Add(addr, xB, i)
+	body.Load(tv, addr, 1)
+	body.Store(addr, 0, tv)
+	body.AddI(i, i, 1)
+	body.Jmp(head)
+	exit.RetVoid()
+	f.Recompute()
+
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != NonIdempotent {
+		t.Fatalf("class = %v, want non-idempotent (cross-iteration WAR)", res.Class)
+	}
+}
+
+// TestPminPruning: a never-executed block holding the only WAR flips the
+// region to idempotent once profile pruning is enabled.
+func TestPminPruning(t *testing.T) {
+	m := ir.NewModule("pmin")
+	X := m.NewGlobal("X", 4)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	cold := f.NewBlock("cold")
+	exit := f.NewBlock("exit")
+
+	xB, v, cond := f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(xB, X)
+	entry.Const(cond, 0) // never taken
+	entry.Br(cond, cold, exit)
+	cold.Load(v, xB, 0)
+	cold.AddI(v, v, 1)
+	cold.Store(xB, 0, v)
+	cold.Jmp(exit)
+	exit.RetVoid()
+	f.Recompute()
+
+	mi := alias.AnalyzeModule(m)
+	blocks := map[*ir.Block]bool{entry: true, cold: true, exit: true}
+
+	env := NewEnv(f, mi, alias.Static)
+	res := env.AnalyzeRegion(entry, blocks)
+	if res.Class != NonIdempotent {
+		t.Fatalf("unpruned class = %v, want non-idempotent", res.Class)
+	}
+
+	freq := func(b *ir.Block) int64 {
+		if b == cold {
+			return 0
+		}
+		return 100
+	}
+	env2 := NewEnv(f, mi, alias.Static).WithProfile(freq, 0.0)
+	res2 := env2.AnalyzeRegion(entry, blocks)
+	if res2.Class != Idempotent {
+		t.Fatalf("pruned class = %v (CP %v), want idempotent", res2.Class, res2.CP)
+	}
+	if res2.PrunedBlocks != 1 {
+		t.Errorf("pruned %d blocks, want 1", res2.PrunedBlocks)
+	}
+}
+
+// TestExternIsUnknown: a region containing an opaque library call cannot
+// be classified.
+func TestExternIsUnknown(t *testing.T) {
+	m := ir.NewModule("ext")
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	r := f.NewReg()
+	b.Const(r, 1)
+	b.CallExtern(r, "emit", r)
+	b.RetVoid()
+	f.Recompute()
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != Unknown {
+		t.Errorf("class = %v, want unknown", res.Class)
+	}
+}
+
+// TestCalleeWARViaSummary: a WAR formed across a call boundary (caller
+// loads, callee stores the same global) must be caught through the
+// bottom-up summary.
+func TestCalleeWARViaSummary(t *testing.T) {
+	m := ir.NewModule("callwar")
+	G := m.NewGlobal("G", 4)
+
+	callee := m.NewFunc("writer", 0)
+	cb := callee.NewBlock("entry")
+	gb, one := callee.NewReg(), callee.NewReg()
+	cb.GlobalAddr(gb, G)
+	cb.Const(one, 1)
+	cb.Store(gb, 0, one)
+	cb.RetVoid()
+	callee.Recompute()
+
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	gb2, v, r := f.NewReg(), f.NewReg(), f.NewReg()
+	b.GlobalAddr(gb2, G)
+	b.Load(v, gb2, 0) // exposed load of G[0]
+	b.Call(r, callee) // callee overwrites G[0]: WAR across the call
+	b.Ret(v)
+	f.Recompute()
+
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != NonIdempotent {
+		t.Fatalf("class = %v, want non-idempotent via callee summary", res.Class)
+	}
+	if len(res.CP) != 1 || !res.CP[0].FromCall {
+		t.Fatalf("CP = %v, want one call-summarized store", res.CP)
+	}
+	if !res.CP[0].Checkpointable() {
+		t.Error("G[0] has a static address; the call store must be checkpointable")
+	}
+}
+
+// TestStoreThenLoadIsGuarded: the classic non-WAR (write before read).
+func TestStoreThenLoadIsGuarded(t *testing.T) {
+	m := ir.NewModule("guard")
+	G := m.NewGlobal("G", 4)
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	gb, v := f.NewReg(), f.NewReg()
+	b.GlobalAddr(gb, G)
+	b.Const(v, 5)
+	b.Store(gb, 0, v)
+	b.Load(v, gb, 0)
+	b.Ret(v)
+	f.Recompute()
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != Idempotent {
+		t.Errorf("class = %v, want idempotent (store guards the load)", res.Class)
+	}
+}
+
+// TestGuardOnOnePathOnly: a store guarding a load on one path but not the
+// other leaves the load exposed (path-insensitive conservatism).
+func TestGuardOnOnePathOnly(t *testing.T) {
+	m := ir.NewModule("onepath")
+	G := m.NewGlobal("G", 4)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	writes := f.NewBlock("writes")
+	skips := f.NewBlock("skips")
+	join := f.NewBlock("join")
+
+	gb, v, cond := f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(gb, G)
+	entry.Const(cond, 1)
+	entry.Const(v, 2)
+	entry.Br(cond, writes, skips)
+	writes.Store(gb, 0, v)
+	writes.Jmp(join)
+	skips.Jmp(join)
+	join.Load(v, gb, 0)  // exposed via skips
+	join.Store(gb, 0, v) // WAR with its own load
+	join.RetVoid()
+	f.Recompute()
+
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != NonIdempotent {
+		t.Fatalf("class = %v, want non-idempotent (exposed via skip path)", res.Class)
+	}
+}

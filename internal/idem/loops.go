@@ -1,0 +1,170 @@
+package idem
+
+import (
+	"encore/internal/alias"
+	"encore/internal/cfg"
+)
+
+// loopSummary is the loop-wide meta-information of paper §3.1.2: the net
+// memory effect of a whole loop, letting enclosing analyses treat it as a
+// single basic block.
+type loopSummary struct {
+	loop *cfg.Loop
+
+	// as / asLocs: loop-wide reachable stores, RS_l = AS_l — "effectively
+	// all stores are potentially reachable from any point within
+	// (possibly across iterations)".
+	as     []StoreRef
+	asLocs alias.Set
+
+	// ga: loop-wide guarded addresses, the intersection of the guaranteed
+	// sets across all exiting nodes. (We include the exiting node's own
+	// stores, since the exit branch executes after the block body.)
+	ga alias.Set
+
+	// ea: loop-wide exposed addresses, the union of the exposed sets
+	// across all exiting nodes.
+	ea alias.Set
+
+	// cp: stores that violate idempotence *within* the loop (first- or
+	// cross-iteration WARs); they must be checkpointed by any region that
+	// wants to re-execute through this loop.
+	cp []StoreRef
+
+	unknown bool
+}
+
+// summarize computes (and caches) the meta-information for loop l,
+// recursively summarizing inner loops first. Returns nil when the loop
+// body cannot be analyzed (irreducible inner structure).
+func (e *Env) summarize(l *cfg.Loop) *loopSummary {
+	if s, ok := e.loopSums[l]; ok {
+		return s
+	}
+	e.loopSums[l] = nil // cycle guard; overwritten on success
+	s := e.computeLoopSummary(l)
+	e.loopSums[l] = s
+	return s
+}
+
+func (e *Env) computeLoopSummary(l *cfg.Loop) *loopSummary {
+	for b := range l.Blocks {
+		if e.Irreducible[b] {
+			return nil
+		}
+	}
+	// Build the collapsed graph over the loop body with inner loops as
+	// super-nodes. Back edges to the loop header vanish automatically:
+	// buildGraph only creates forward edges between distinct nodes and the
+	// topological sort below rejects any remaining cycle.
+	nodes, entry, ok := e.buildGraph(l.Header, l.Blocks, l)
+	if !ok {
+		return nil
+	}
+	// Remove latch->header edges so the body is acyclic ("the constituent
+	// basic blocks can initially be analyzed as if they were just a simple
+	// acyclic region").
+	for _, n := range nodes {
+		n.succs = dropNode(n.succs, entry)
+	}
+	entry.preds = entry.preds[:0]
+	order, acyclic := topoSort(nodes, entry)
+	if !acyclic {
+		return nil
+	}
+	runDataflow(order, e.Mode)
+
+	s := &loopSummary{loop: l, asLocs: alias.Set{}, ga: alias.Set{}, ea: alias.Set{}}
+	cpSet := map[StoreRef]bool{}
+	for _, n := range nodes {
+		s.as = append(s.as, n.as...)
+		s.asLocs.AddAll(n.asLocs)
+		if n.unknown {
+			s.unknown = true
+		}
+		// Inner loops' own violations remain violations of this loop.
+		if n.loop != nil {
+			for _, st := range n.sum.cp {
+				cpSet[st] = true
+			}
+		}
+	}
+	// Equation-4 check with RS_l = AS_l for every block: any address
+	// exposed anywhere in the loop against any store anywhere in the loop
+	// (cross-iteration WARs included).
+	for _, n := range order {
+		for l2 := range n.ea {
+			for _, st := range s.as {
+				if !cpSet[st] && alias.MayAlias(st.Loc, l2, e.Mode) {
+					cpSet[st] = true
+				}
+			}
+		}
+	}
+	for _, st := range s.as {
+		if cpSet[st] {
+			s.cp = append(s.cp, st)
+		}
+	}
+
+	// Loop-wide GA: intersection across exiting nodes, each taken after
+	// its own body has run.
+	first := true
+	for _, n := range order {
+		if !isExiting(n, l) {
+			continue
+		}
+		through := n.ga.Clone()
+		through.AddAll(n.gaGain())
+		if first {
+			s.ga = through
+			first = false
+		} else {
+			s.ga = s.ga.Intersect(through)
+		}
+	}
+	if first {
+		// No exiting nodes survived pruning (e.g. an intentionally endless
+		// loop): nothing is guaranteed and nothing escapes.
+		s.ga = alias.Set{}
+	}
+	// Loop-wide EA: the paper defines it as the union over exit blocks,
+	// but control can leave after any number of iterations, so exposure
+	// anywhere in the body is exposure of the loop. The single acyclic
+	// pass sees the exiting header before the body; take the union over
+	// all nodes to cover paths through later iterations.
+	for _, n := range order {
+		s.ea.AddAll(n.ea)
+	}
+	return s
+}
+
+// isExiting reports whether node n has a control edge leaving loop l.
+func isExiting(n *node, l *cfg.Loop) bool {
+	if n.block != nil {
+		for _, s := range n.block.Succs {
+			if !l.Blocks[s] {
+				return true
+			}
+		}
+		return false
+	}
+	for b := range n.loop.Blocks {
+		for _, s := range b.Succs {
+			if !n.loop.Blocks[s] && !l.Blocks[s] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func dropNode(ns []*node, x *node) []*node {
+	out := ns[:0]
+	for _, n := range ns {
+		if n != x {
+			out = append(out, n)
+		}
+	}
+	return out
+}

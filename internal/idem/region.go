@@ -1,0 +1,107 @@
+package idem
+
+import (
+	"encore/internal/alias"
+	"encore/internal/ir"
+)
+
+// AnalyzeRegion runs the full idempotence analysis on the SEME region with
+// the given header and block set, applying the environment's alias mode
+// and Pmin pruning. It returns the classification, the checkpoint set CP,
+// and the per-block RS/GA/EA sets.
+func (e *Env) AnalyzeRegion(header *ir.Block, blocks map[*ir.Block]bool) *Result {
+	res := &Result{
+		RS: map[*ir.Block]map[alias.InstrPos]alias.Loc{},
+		GA: map[*ir.Block]alias.Set{},
+		EA: map[*ir.Block]alias.Set{},
+	}
+	for b := range blocks {
+		if e.Irreducible[b] {
+			res.Class = Unknown
+			return res
+		}
+	}
+	nodes, entry, ok := e.buildGraph(header, blocks, nil)
+	if !ok {
+		res.Class = Unknown
+		return res
+	}
+	res.PrunedBlocks = countPruned(blocks, nodes)
+
+	order, acyclic := topoSort(nodes, entry)
+	if !acyclic {
+		res.Class = Unknown
+		return res
+	}
+	runDataflow(order, e.Mode)
+
+	unknown := false
+	for _, n := range order {
+		if n.unknown {
+			unknown = true
+		}
+		b := n.headerBlock()
+		rsOut := map[alias.InstrPos]alias.Loc{}
+		for s := range n.rs {
+			rsOut[s.Pos] = s.Loc
+		}
+		res.RS[b] = rsOut
+		res.GA[b] = n.ga
+		res.EA[b] = n.ea
+	}
+
+	// Region-level violations plus every contained loop's internal CP.
+	cp := collectViolations(order, e.Mode)
+	seen := map[StoreRef]bool{}
+	for _, s := range cp {
+		seen[s] = true
+	}
+	for _, n := range order {
+		if n.loop == nil {
+			continue
+		}
+		for _, s := range n.sum.cp {
+			if !seen[s] {
+				seen[s] = true
+				cp = append(cp, s)
+			}
+		}
+	}
+	res.CP = cp
+
+	switch {
+	case unknown:
+		res.Class = Unknown
+	case len(cp) == 0:
+		res.Class = Idempotent
+	default:
+		res.Class = NonIdempotent
+		for _, s := range cp {
+			if !s.Checkpointable() {
+				res.Unprotectable = true
+				break
+			}
+		}
+	}
+	return res
+}
+
+func countPruned(blocks map[*ir.Block]bool, nodes []*node) int {
+	covered := map[*ir.Block]bool{}
+	for _, n := range nodes {
+		if n.block != nil {
+			covered[n.block] = true
+		} else {
+			for b := range n.loop.Blocks {
+				covered[b] = true
+			}
+		}
+	}
+	pruned := 0
+	for b := range blocks {
+		if !covered[b] {
+			pruned++
+		}
+	}
+	return pruned
+}

@@ -1,0 +1,264 @@
+// Package interp executes IR modules. It is the platform substrate for the
+// whole reproduction: profiling runs, dynamic trace extraction, runtime
+// overhead measurement, and statistical fault injection with Encore-style
+// rollback recovery all happen here.
+//
+// The machine models a flat, word-addressed memory holding the module's
+// globals followed by a downward-growing region reserved for call frames.
+// Each call frame carries its own virtual register file. Encore
+// instrumentation pseudo-ops (SetRecovery/CkptReg/CkptMem/Restore) are
+// executed against per-region checkpoint buffers, mirroring the reserved
+// stack region the paper describes (§3.2).
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"encore/internal/ir"
+)
+
+// Trap classifications surfaced as errors from Run. Symptom-based
+// detectors (ReStore/Shoestring) treat these as high-visibility symptoms.
+var (
+	ErrOutOfBounds = errors.New("interp: memory access out of bounds")
+	ErrBudget      = errors.New("interp: dynamic instruction budget exhausted")
+	ErrCallDepth   = errors.New("interp: call depth exceeded")
+	ErrStack       = errors.New("interp: stack overflow")
+	ErrNoMain      = errors.New("interp: module has no main function")
+	ErrExtern      = errors.New("interp: unknown extern")
+)
+
+// ExternFunc implements a statically-opaque library call.
+type ExternFunc func(m *Machine, args []int64) int64
+
+// Hook observes execution. OnInstr fires before each instruction;
+// idx == len(b.Instrs) denotes the block terminator.
+type Hook interface {
+	OnInstr(m *Machine, b *ir.Block, idx int)
+}
+
+// RecoveryPolicy selects what the detector does for faults attributed to
+// a region.
+type RecoveryPolicy uint8
+
+// Recovery policies.
+const (
+	// ReExecute rolls back to the region header after restoring
+	// checkpoints — Encore's standard behavior.
+	ReExecute RecoveryPolicy = iota
+	// IgnoreFault resumes execution at the detection point without
+	// rollback: the Relax-style option (paper §6.2) for regions whose
+	// outputs tolerate degraded quality.
+	IgnoreFault
+)
+
+// RegionMeta describes one instrumented region to the runtime: where its
+// recovery block and header live. Produced by internal/xform.
+type RegionMeta struct {
+	ID       int
+	Fn       *ir.Func
+	Header   *ir.Block
+	Recovery *ir.Block
+	Policy   RecoveryPolicy
+}
+
+// ckptEntry is one checkpointed datum: a register value or a memory word.
+type ckptEntry struct {
+	isMem bool
+	key   int64 // register number or absolute address
+	val   int64
+}
+
+// regionState is the live checkpoint buffer for one region instance.
+type regionState struct {
+	meta     *RegionMeta
+	entries  []ckptEntry
+	bytes    int64 // buffer bytes this instance has accumulated
+	instance int64 // global SetRecovery sequence number
+	frame    int   // frame depth at which the region was entered
+}
+
+// Config parametrizes a machine.
+type Config struct {
+	MemWords   int64 // total memory size in words (default 1<<20)
+	StackWords int64 // words reserved for frames at the top of memory (default 1<<16)
+	MaxInstrs  int64 // dynamic instruction budget (default 1<<32)
+	MaxDepth   int   // call depth limit (default 1024)
+
+	Profile bool // collect block and edge execution counts
+	Hook    Hook
+	Externs map[string]ExternFunc
+}
+
+// Profile holds execution counts gathered during a run.
+type Profile struct {
+	Block map[*ir.Block]int64
+	// Edge counts are indexed by (block, successor index in Term.Targets).
+	Edge map[*ir.Block][]int64
+}
+
+// frame is one activation record.
+type frame struct {
+	fn    *ir.Func
+	regs  []int64
+	fp    int64 // frame-pointer word address for OpFrame
+	retTo struct {
+		b   *ir.Block
+		idx int
+		dst ir.Reg
+	}
+	region *regionState // innermost active region in this frame, or nil
+}
+
+// Machine executes one module instance. Machines are single-use per Run
+// but may be Reset and rerun; they are not safe for concurrent use.
+type Machine struct {
+	Mod *ir.Module
+	Cfg Config
+
+	Mem  []int64
+	Prof *Profile
+
+	// Count is the number of dynamic instructions retired so far.
+	// Checkpoint pseudo-ops count toward it (they are real instructions in
+	// the instrumented binary); OpCkptMem costs 2 (address+data stores).
+	Count int64
+
+	// BaseCount counts only non-instrumentation instructions, giving the
+	// baseline dynamic length for overhead calculations.
+	BaseCount int64
+
+	// CkptRegBytes / CkptMemBytes accumulate checkpoint traffic using the
+	// paper's 32-bit target model: 4 bytes per register entry, 8 bytes
+	// (data+address) per memory entry.
+	CkptRegBytes, CkptMemBytes int64
+	// RegionEntries counts SetRecovery executions (region instances).
+	RegionEntries int64
+	// MaxBufferBytes is the largest checkpoint buffer any single region
+	// instance accumulated — the runtime validation of Table 1's fixed
+	// 10–100 B reserved stack area. The fixed-slot constraint enforced
+	// during region formation guarantees it stays at (|CP|·8 + |regs|·4)
+	// bytes for every selected region.
+	MaxBufferBytes int64
+
+	regions map[int]*RegionMeta
+
+	frames   []frame
+	sp       int64 // next free stack word (grows upward within stack area)
+	stackTop int64
+
+	instanceSeq int64
+
+	fault *faultState
+
+	output []int64 // values emitted via the "emit" extern
+}
+
+// New builds a machine for mod. The module is laid out on first use.
+func New(mod *ir.Module, cfg Config) *Machine {
+	if cfg.MemWords == 0 {
+		cfg.MemWords = 1 << 20
+	}
+	if cfg.StackWords == 0 {
+		cfg.StackWords = 1 << 16
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = 1 << 32
+	}
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 1024
+	}
+	mod.Layout()
+	if mod.DataEnd()+cfg.StackWords > cfg.MemWords {
+		cfg.MemWords = mod.DataEnd() + cfg.StackWords + 1024
+	}
+	m := &Machine{Mod: mod, Cfg: cfg, regions: map[int]*RegionMeta{}}
+	m.Reset()
+	return m
+}
+
+// SetRuntime registers instrumented-region metadata so the checkpoint
+// pseudo-ops can find their recovery blocks.
+func (m *Machine) SetRuntime(metas []RegionMeta) {
+	m.regions = make(map[int]*RegionMeta, len(metas))
+	for i := range metas {
+		m.regions[metas[i].ID] = &metas[i]
+	}
+}
+
+// Reset reinitializes memory (reloading global initializers), counters,
+// profile, and fault state, allowing a fresh Run.
+func (m *Machine) Reset() {
+	if m.Mem == nil || int64(len(m.Mem)) != m.Cfg.MemWords {
+		m.Mem = make([]int64, m.Cfg.MemWords)
+	} else {
+		clear(m.Mem)
+	}
+	for _, g := range m.Mod.Globals {
+		copy(m.Mem[g.Addr:g.Addr+g.Size], g.Init)
+	}
+	m.Count, m.BaseCount = 0, 0
+	m.CkptRegBytes, m.CkptMemBytes, m.RegionEntries = 0, 0, 0
+	m.MaxBufferBytes = 0
+	m.instanceSeq = 0
+	m.frames = m.frames[:0]
+	m.sp = m.Cfg.MemWords - m.Cfg.StackWords
+	m.stackTop = m.Cfg.MemWords
+	m.fault = nil
+	m.output = m.output[:0]
+	if m.Cfg.Profile {
+		m.Prof = &Profile{Block: map[*ir.Block]int64{}, Edge: map[*ir.Block][]int64{}}
+	}
+}
+
+// Output returns the values emitted through the built-in "emit" extern.
+func (m *Machine) Output() []int64 { return m.output }
+
+// ReadGlobal copies the current contents of global g out of memory.
+func (m *Machine) ReadGlobal(g *ir.Global) []int64 {
+	out := make([]int64, g.Size)
+	copy(out, m.Mem[g.Addr:g.Addr+g.Size])
+	return out
+}
+
+// Checksum returns a FNV-style hash over the given global's memory plus
+// the emitted output stream; used as the golden-run oracle.
+func (m *Machine) Checksum(gs ...*ir.Global) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v int64) {
+		h ^= uint64(v)
+		h *= prime
+	}
+	for _, g := range gs {
+		for _, v := range m.Mem[g.Addr : g.Addr+g.Size] {
+			mix(v)
+		}
+	}
+	for _, v := range m.output {
+		mix(v)
+	}
+	return h
+}
+
+// Depth returns the current call-frame depth.
+func (m *Machine) Depth() int { return len(m.frames) }
+
+// PeekAddr computes the effective address of a load or store that is about
+// to execute in the current frame, without side effects. Used by tracing
+// hooks.
+func (m *Machine) PeekAddr(in *ir.Instr) (int64, bool) {
+	if len(m.frames) == 0 || (in.Op != ir.OpLoad && in.Op != ir.OpStore) {
+		return 0, false
+	}
+	fr := &m.frames[len(m.frames)-1]
+	if int(in.A) >= len(fr.regs) {
+		return 0, false
+	}
+	return fr.regs[in.A] + in.Imm, true
+}
+
+func (m *Machine) trap(err error, format string, args ...any) error {
+	return fmt.Errorf("%w: %s", err, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,371 @@
+package interp
+
+import (
+	"encore/internal/ir"
+)
+
+// Run executes the module's main function with no arguments.
+func (m *Machine) Run() (int64, error) {
+	main := m.Mod.FuncByName("main")
+	if main == nil {
+		return 0, ErrNoMain
+	}
+	return m.Call(main)
+}
+
+// Call executes fn with the given arguments and returns its result.
+func (m *Machine) Call(fn *ir.Func, args ...int64) (int64, error) {
+	if err := m.pushFrame(fn, args); err != nil {
+		return 0, err
+	}
+	return m.loop()
+}
+
+func (m *Machine) pushFrame(fn *ir.Func, args []int64) error {
+	if len(m.frames) >= m.Cfg.MaxDepth {
+		return m.trap(ErrCallDepth, "calling %s", fn.Name)
+	}
+	if m.sp+fn.FrameSize > m.stackTop {
+		return m.trap(ErrStack, "frame for %s needs %d words", fn.Name, fn.FrameSize)
+	}
+	fr := frame{fn: fn, regs: make([]int64, fn.NumRegs), fp: m.sp}
+	copy(fr.regs, args)
+	m.sp += fn.FrameSize
+	m.frames = append(m.frames, fr)
+	return nil
+}
+
+func (m *Machine) popFrame() {
+	fr := &m.frames[len(m.frames)-1]
+	m.sp = fr.fp
+	m.frames = m.frames[:len(m.frames)-1]
+}
+
+// loop is the interpreter core: it runs until the frame stack drains back
+// past its starting depth, returning the value of the final return.
+func (m *Machine) loop() (int64, error) {
+	baseDepth := len(m.frames) - 1
+	fr := &m.frames[len(m.frames)-1]
+	b := fr.fn.Entry()
+	idx := 0
+	var retVal int64
+	if m.Prof != nil {
+		m.Prof.Block[b]++
+	}
+
+	for {
+		if m.Count >= m.Cfg.MaxInstrs {
+			return 0, m.trap(ErrBudget, "in %s at %s", fr.fn.Name, b)
+		}
+		if m.Cfg.Hook != nil {
+			m.Cfg.Hook.OnInstr(m, b, idx)
+		}
+
+		// Register-file strikes fire between instructions.
+		if m.fault != nil && !m.fault.injected && m.fault.plan.Mode == CorruptRegFile && m.Count >= m.fault.plan.InjectAt {
+			r := m.fault.plan.TargetReg % len(fr.regs)
+			fr.regs[r] ^= 1 << (m.fault.plan.Bit & 63)
+			m.fault.injected = true
+			m.fault.report.Injected = true
+			m.fault.report.Site.Reg = ir.Reg(r)
+			m.noteSite(&m.fault.report.Site, b, idx)
+			m.fault.detectAt = m.Count + m.fault.plan.DetectLatency
+		}
+		// Scheduled fault detection fires between instructions.
+		if m.fault != nil && m.fault.injected && !m.fault.detected && m.Count >= m.fault.detectAt {
+			nb, nidx, ok := m.detect()
+			switch {
+			case ok:
+				fr = &m.frames[len(m.frames)-1]
+				b, idx = nb, nidx
+				continue
+			case m.fault.report.Ignored:
+				// Tolerant region: resume in place.
+			default:
+				// Unrecoverable detection: surface as a detection trap.
+				return 0, ErrDetectedUnrecoverable
+			}
+		}
+
+		if idx < len(b.Instrs) {
+			in := &b.Instrs[idx]
+			m.Count++
+			if !in.Op.IsCkpt() {
+				m.BaseCount++
+			}
+			switch in.Op {
+			case ir.OpConst:
+				fr.regs[in.Dst] = in.Imm
+			case ir.OpMov:
+				fr.regs[in.Dst] = fr.regs[in.A]
+			case ir.OpAdd:
+				fr.regs[in.Dst] = fr.regs[in.A] + fr.regs[in.B]
+			case ir.OpSub:
+				fr.regs[in.Dst] = fr.regs[in.A] - fr.regs[in.B]
+			case ir.OpMul:
+				fr.regs[in.Dst] = fr.regs[in.A] * fr.regs[in.B]
+			case ir.OpDiv:
+				if d := fr.regs[in.B]; d != 0 {
+					fr.regs[in.Dst] = fr.regs[in.A] / d
+				} else {
+					fr.regs[in.Dst] = 0
+				}
+			case ir.OpRem:
+				if d := fr.regs[in.B]; d != 0 {
+					fr.regs[in.Dst] = fr.regs[in.A] % d
+				} else {
+					fr.regs[in.Dst] = 0
+				}
+			case ir.OpAnd:
+				fr.regs[in.Dst] = fr.regs[in.A] & fr.regs[in.B]
+			case ir.OpOr:
+				fr.regs[in.Dst] = fr.regs[in.A] | fr.regs[in.B]
+			case ir.OpXor:
+				fr.regs[in.Dst] = fr.regs[in.A] ^ fr.regs[in.B]
+			case ir.OpShl:
+				fr.regs[in.Dst] = fr.regs[in.A] << (uint64(fr.regs[in.B]) & 63)
+			case ir.OpShr:
+				fr.regs[in.Dst] = fr.regs[in.A] >> (uint64(fr.regs[in.B]) & 63)
+			case ir.OpNeg:
+				fr.regs[in.Dst] = -fr.regs[in.A]
+			case ir.OpNot:
+				fr.regs[in.Dst] = ^fr.regs[in.A]
+			case ir.OpAddI:
+				fr.regs[in.Dst] = fr.regs[in.A] + in.Imm
+			case ir.OpMulI:
+				fr.regs[in.Dst] = fr.regs[in.A] * in.Imm
+			case ir.OpAndI:
+				fr.regs[in.Dst] = fr.regs[in.A] & in.Imm
+			case ir.OpShlI:
+				fr.regs[in.Dst] = fr.regs[in.A] << (uint64(in.Imm) & 63)
+			case ir.OpShrI:
+				fr.regs[in.Dst] = fr.regs[in.A] >> (uint64(in.Imm) & 63)
+			case ir.OpFAdd:
+				fr.regs[in.Dst] = ir.FloatBits(ir.BitsFloat(fr.regs[in.A]) + ir.BitsFloat(fr.regs[in.B]))
+			case ir.OpFSub:
+				fr.regs[in.Dst] = ir.FloatBits(ir.BitsFloat(fr.regs[in.A]) - ir.BitsFloat(fr.regs[in.B]))
+			case ir.OpFMul:
+				fr.regs[in.Dst] = ir.FloatBits(ir.BitsFloat(fr.regs[in.A]) * ir.BitsFloat(fr.regs[in.B]))
+			case ir.OpFDiv:
+				fr.regs[in.Dst] = ir.FloatBits(ir.BitsFloat(fr.regs[in.A]) / ir.BitsFloat(fr.regs[in.B]))
+			case ir.OpFNeg:
+				fr.regs[in.Dst] = ir.FloatBits(-ir.BitsFloat(fr.regs[in.A]))
+			case ir.OpIToF:
+				fr.regs[in.Dst] = ir.FloatBits(float64(fr.regs[in.A]))
+			case ir.OpFToI:
+				fr.regs[in.Dst] = int64(ir.BitsFloat(fr.regs[in.A]))
+			case ir.OpEq:
+				fr.regs[in.Dst] = b2i(fr.regs[in.A] == fr.regs[in.B])
+			case ir.OpNe:
+				fr.regs[in.Dst] = b2i(fr.regs[in.A] != fr.regs[in.B])
+			case ir.OpLt:
+				fr.regs[in.Dst] = b2i(fr.regs[in.A] < fr.regs[in.B])
+			case ir.OpLe:
+				fr.regs[in.Dst] = b2i(fr.regs[in.A] <= fr.regs[in.B])
+			case ir.OpFEq:
+				fr.regs[in.Dst] = b2i(ir.BitsFloat(fr.regs[in.A]) == ir.BitsFloat(fr.regs[in.B]))
+			case ir.OpFLt:
+				fr.regs[in.Dst] = b2i(ir.BitsFloat(fr.regs[in.A]) < ir.BitsFloat(fr.regs[in.B]))
+			case ir.OpFLe:
+				fr.regs[in.Dst] = b2i(ir.BitsFloat(fr.regs[in.A]) <= ir.BitsFloat(fr.regs[in.B]))
+			case ir.OpLoad:
+				addr := fr.regs[in.A] + in.Imm
+				if addr < 0 || addr >= int64(len(m.Mem)) {
+					if m.symptomTrap() {
+						continue // detector fires immediately on the trap symptom
+					}
+					return 0, m.trap(ErrOutOfBounds, "load [%d] in %s %s", addr, fr.fn.Name, b)
+				}
+				fr.regs[in.Dst] = m.Mem[addr]
+			case ir.OpStore:
+				addr := fr.regs[in.A] + in.Imm
+				if addr < 0 || addr >= int64(len(m.Mem)) {
+					if m.symptomTrap() {
+						continue // detector fires immediately on the trap symptom
+					}
+					return 0, m.trap(ErrOutOfBounds, "store [%d] in %s %s", addr, fr.fn.Name, b)
+				}
+				m.Mem[addr] = fr.regs[in.B]
+				if m.fault != nil && !m.fault.injected && m.fault.plan.Mode == CorruptOutput && m.Count >= m.fault.plan.InjectAt {
+					m.injectMem(addr, b, idx)
+				}
+			case ir.OpFrame:
+				fr.regs[in.Dst] = fr.fp + in.Imm
+			case ir.OpGlobal:
+				fr.regs[in.Dst] = m.Mod.Globals[in.Imm].Addr
+			case ir.OpCall:
+				args := make([]int64, len(in.Args))
+				for i, r := range in.Args {
+					args[i] = fr.regs[r]
+				}
+				fr.retTo.b, fr.retTo.idx, fr.retTo.dst = b, idx+1, in.Dst
+				if err := m.pushFrame(in.Callee, args); err != nil {
+					return 0, err
+				}
+				fr = &m.frames[len(m.frames)-1]
+				b = fr.fn.Entry()
+				idx = 0
+				if m.Prof != nil {
+					m.Prof.Block[b]++
+				}
+				continue
+			case ir.OpExtern:
+				ef := m.Cfg.Externs[in.Extern]
+				if ef == nil {
+					ef = builtinExterns[in.Extern]
+				}
+				if ef == nil {
+					return 0, m.trap(ErrExtern, "%q", in.Extern)
+				}
+				args := make([]int64, len(in.Args))
+				for i, r := range in.Args {
+					args[i] = fr.regs[r]
+				}
+				fr.regs[in.Dst] = ef(m, args)
+			case ir.OpSetRecovery:
+				meta := m.regions[int(in.Imm)]
+				m.instanceSeq++
+				m.RegionEntries++
+				rs := &regionState{meta: meta, instance: m.instanceSeq, frame: len(m.frames) - 1}
+				fr.region = rs
+			case ir.OpCkptReg:
+				if fr.region != nil {
+					fr.region.entries = append(fr.region.entries,
+						ckptEntry{isMem: false, key: int64(in.A), val: fr.regs[in.A]})
+					fr.region.bytes += 4
+					m.CkptRegBytes += 4
+					if fr.region.bytes > m.MaxBufferBytes {
+						m.MaxBufferBytes = fr.region.bytes
+					}
+				}
+			case ir.OpCkptMem:
+				addr := fr.regs[in.A] + in.Imm2
+				if addr < 0 || addr >= int64(len(m.Mem)) {
+					return 0, m.trap(ErrOutOfBounds, "ckptmem [%d] in %s", addr, fr.fn.Name)
+				}
+				if fr.region != nil {
+					fr.region.entries = append(fr.region.entries,
+						ckptEntry{isMem: true, key: addr, val: m.Mem[addr]})
+					fr.region.bytes += 8
+					m.CkptMemBytes += 8
+					if fr.region.bytes > m.MaxBufferBytes {
+						m.MaxBufferBytes = fr.region.bytes
+					}
+				}
+				m.Count++ // memory checkpoints cost two instructions (addr+data)
+			case ir.OpRestore:
+				if fr.region != nil {
+					for i := len(fr.region.entries) - 1; i >= 0; i-- {
+						e := fr.region.entries[i]
+						if e.isMem {
+							m.Mem[e.key] = e.val
+						} else {
+							fr.regs[e.key] = e.val
+						}
+					}
+					fr.region.entries = fr.region.entries[:0]
+				}
+			default:
+				return 0, m.trap(ErrOutOfBounds, "bad opcode %s", in.Op)
+			}
+			// Register-output fault injection point.
+			if m.fault != nil && !m.fault.injected && m.fault.plan.Mode == CorruptOutput && m.Count >= m.fault.plan.InjectAt {
+				if d := in.Def(); d != ir.NoReg {
+					m.injectReg(fr, d, b, idx)
+				}
+			}
+			idx++
+			continue
+		}
+
+		// Terminator.
+		m.Count++
+		m.BaseCount++
+		t := &b.Term
+		var next *ir.Block
+		switch t.Op {
+		case ir.TermJmp:
+			next = t.Targets[0]
+			m.countEdge(b, 0)
+		case ir.TermBr:
+			if fr.regs[t.Cond] != 0 {
+				next = t.Targets[0]
+				m.countEdge(b, 0)
+			} else {
+				next = t.Targets[1]
+				m.countEdge(b, 1)
+			}
+		case ir.TermSwitch:
+			i := fr.regs[t.Cond]
+			if i < 0 {
+				i = 0
+			}
+			if i >= int64(len(t.Targets)) {
+				i = int64(len(t.Targets)) - 1
+			}
+			next = t.Targets[i]
+			m.countEdge(b, int(i))
+		case ir.TermRet:
+			if t.HasVal {
+				retVal = fr.regs[t.Val]
+			} else {
+				retVal = 0
+			}
+			m.popFrame()
+			if len(m.frames) <= baseDepth {
+				return retVal, nil
+			}
+			fr = &m.frames[len(m.frames)-1]
+			if fr.retTo.dst != ir.NoReg {
+				fr.regs[fr.retTo.dst] = retVal
+			}
+			b, idx = fr.retTo.b, fr.retTo.idx
+			continue
+		}
+		if m.Prof != nil {
+			m.Prof.Block[next]++
+		}
+		b = next
+		idx = 0
+	}
+}
+
+func (m *Machine) countEdge(b *ir.Block, succ int) {
+	if m.Prof == nil {
+		return
+	}
+	e := m.Prof.Edge[b]
+	if e == nil {
+		e = make([]int64, len(b.Term.Targets))
+		m.Prof.Edge[b] = e
+	}
+	e[succ]++
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// builtinExterns are always available. "emit" appends its argument to the
+// machine's output stream; "mix" is an opaque value combiner used by
+// workloads to force statically-unanalyzable data flow.
+var builtinExterns = map[string]ExternFunc{
+	"emit": func(m *Machine, args []int64) int64 {
+		if len(args) > 0 {
+			m.output = append(m.output, args[0])
+			return args[0]
+		}
+		return 0
+	},
+	"mix": func(m *Machine, args []int64) int64 {
+		h := uint64(14695981039346656037)
+		for _, a := range args {
+			h ^= uint64(a)
+			h *= 1099511628211
+		}
+		return int64(h)
+	},
+}

@@ -1,0 +1,28 @@
+package ir_test
+
+import (
+	"fmt"
+	"log"
+
+	"encore/internal/ir"
+)
+
+// ExampleParse round-trips a module through the textual IR form.
+func ExampleParse() {
+	src := `module demo
+global data[8]
+func main(params=0 regs=3 frame=0):
+entry#0:
+  r0 = global #0
+  r1 = const 7
+  store [r0+3] = r1
+  r2 = load [r0+3]
+  ret r2
+`
+	mod, err := ir.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(mod.String() == src)
+	// Output: true
+}

@@ -1,0 +1,218 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func twoBlockFunc(t *testing.T) (*Module, *Func) {
+	t.Helper()
+	m := NewModule("t")
+	g := m.NewGlobal("g", 8)
+	f := m.NewFunc("main", 0)
+	b0 := f.NewBlock("entry")
+	b1 := f.NewBlock("exit")
+	r0, r1 := f.NewReg(), f.NewReg()
+	b0.Const(r0, 42)
+	b0.GlobalAddr(r1, g)
+	b0.Store(r1, 0, r0)
+	b0.Jmp(b1)
+	v := f.NewReg()
+	b1.Load(v, r1, 0)
+	b1.Ret(v)
+	f.Recompute()
+	return m, f
+}
+
+func TestVerifyOK(t *testing.T) {
+	m, _ := twoBlockFunc(t)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesUnterminated(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("main", 0)
+	f.NewBlock("entry")
+	f.Recompute()
+	if err := m.Verify(); err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("want unterminated error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesBadRegister(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	b.Instrs = append(b.Instrs, Instr{Op: OpMov, Dst: 0, A: 99, B: NoReg})
+	f.NumRegs = 1
+	b.RetVoid()
+	f.Recompute()
+	if err := m.Verify(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("want register range error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesStaleCFG(t *testing.T) {
+	m, f := twoBlockFunc(t)
+	// Reorder blocks without Recompute: IDs are now stale.
+	f.Blocks[0], f.Blocks[1] = f.Blocks[1], f.Blocks[0]
+	if err := m.Verify(); err == nil {
+		t.Fatal("want stale-ID error after structural edit without Recompute")
+	}
+	f.Recompute()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify after Recompute: %v", err)
+	}
+
+	// Retargeting a terminator without Recompute must also be caught.
+	extra := f.NewBlock("extra")
+	extra.RetVoid()
+	for _, b := range f.Blocks {
+		if b.Term.Op == TermJmp {
+			b.Term.Targets[0] = extra
+		}
+	}
+	if err := m.Verify(); err == nil {
+		t.Fatal("want stale-successor error after retargeting without Recompute")
+	}
+	f.Recompute()
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify after second Recompute: %v", err)
+	}
+}
+
+func TestVerifyCatchesArityMismatch(t *testing.T) {
+	m := NewModule("t")
+	callee := m.NewFunc("callee", 2)
+	cb := callee.NewBlock("entry")
+	cb.Ret(0)
+	callee.Recompute()
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	r := f.NewReg()
+	b.Instrs = append(b.Instrs, Instr{Op: OpCall, Dst: r, A: NoReg, B: NoReg, Callee: callee, Args: []Reg{}})
+	b.RetVoid()
+	f.Recompute()
+	if err := m.Verify(); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+}
+
+func TestBuilderPanicsOnDoubleTerminator(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	b.RetVoid()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double termination")
+		}
+	}()
+	b.RetVoid()
+}
+
+func TestCallArityPanics(t *testing.T) {
+	m := NewModule("t")
+	callee := m.NewFunc("callee", 1)
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on call arity mismatch")
+		}
+	}()
+	b.Call(f.NewReg(), callee)
+}
+
+func TestUsesAndDef(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		uses []Reg
+		def  Reg
+	}{
+		{Instr{Op: OpConst, Dst: 3}, nil, 3},
+		{Instr{Op: OpAdd, Dst: 1, A: 2, B: 3}, []Reg{2, 3}, 1},
+		{Instr{Op: OpStore, A: 1, B: 2}, []Reg{1, 2}, NoReg},
+		{Instr{Op: OpLoad, Dst: 4, A: 1}, []Reg{1}, 4},
+		{Instr{Op: OpCall, Dst: 0, Args: []Reg{5, 6}}, []Reg{5, 6}, 0},
+		{Instr{Op: OpCkptReg, A: 7}, []Reg{7}, NoReg},
+		{Instr{Op: OpCkptMem, A: 2}, []Reg{2}, NoReg},
+		{Instr{Op: OpSetRecovery}, nil, NoReg},
+		{Instr{Op: OpRestore}, nil, NoReg},
+	}
+	for _, c := range cases {
+		got := c.in.Uses(nil)
+		if len(got) != len(c.uses) {
+			t.Errorf("%v: uses = %v, want %v", c.in.Op, got, c.uses)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.uses[i] {
+				t.Errorf("%v: uses = %v, want %v", c.in.Op, got, c.uses)
+			}
+		}
+		if d := c.in.Def(); d != c.def {
+			t.Errorf("%v: def = %v, want %v", c.in.Op, d, c.def)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		return x != x /* NaN payloads may differ */ || BitsFloat(FloatBits(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutAssignsDisjointRanges(t *testing.T) {
+	m := NewModule("t")
+	a := m.NewGlobal("a", 10)
+	b := m.NewGlobal("b", 20)
+	c := m.NewGlobal("c", 1)
+	m.Layout()
+	if a.Addr < 16 {
+		t.Errorf("globals must start above the reserved low page, got %d", a.Addr)
+	}
+	if a.Addr+a.Size > b.Addr || b.Addr+b.Size > c.Addr {
+		t.Errorf("overlapping layout: a=%d+%d b=%d+%d c=%d", a.Addr, a.Size, b.Addr, b.Size, c.Addr)
+	}
+	if m.DataEnd() != c.Addr+c.Size {
+		t.Errorf("DataEnd = %d, want %d", m.DataEnd(), c.Addr+c.Size)
+	}
+}
+
+func TestPrintStable(t *testing.T) {
+	m, _ := twoBlockFunc(t)
+	s := m.String()
+	for _, want := range []string{"module t", "global g[8]", "r0 = const 42", "store [r1+0] = r0", "jmp exit#1", "ret r2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOpcodeClassesDisjoint(t *testing.T) {
+	for op := OpConst; op <= OpRestore; op++ {
+		if op.IsBinary() && op.IsUnary() {
+			t.Errorf("%v is both unary and binary", op)
+		}
+		if op.IsCkpt() && op.HasDst() {
+			t.Errorf("%v: checkpoint ops must not define registers", op)
+		}
+	}
+}
+
+func TestFrameAllocation(t *testing.T) {
+	m := NewModule("t")
+	f := m.NewFunc("main", 0)
+	o1 := f.Frame(10)
+	o2 := f.Frame(5)
+	if o1 != 0 || o2 != 10 || f.FrameSize != 15 {
+		t.Errorf("frame offsets %d,%d size %d", o1, o2, f.FrameSize)
+	}
+}

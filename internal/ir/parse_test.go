@@ -1,0 +1,123 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	m, _ := twoBlockFunc(t)
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if got := m2.String(); got != text {
+		t.Errorf("round trip diverged:\n--- printed ---\n%s\n--- reparsed ---\n%s", text, got)
+	}
+}
+
+func TestParseCallsAndControlFlow(t *testing.T) {
+	src := `module demo
+global buf[16]
+func helper(params=2 regs=3 frame=0):
+entry#0:
+  r2 = add r0, r1
+  ret r2
+func main(params=0 regs=6 frame=4):
+entry#0:
+  r0 = const 3
+  r1 = const 4
+  r2 = call helper(r0, r1)
+  r3 = global #0
+  store [r3+2] = r2
+  r4 = frame 1
+  store [r4+0] = r2
+  br r2, body#1, exit#2
+body#1:
+  r5 = load [r3+2]
+  jmp exit#2
+exit#2:
+  ret r2
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 2 || m.FuncByName("helper") == nil {
+		t.Fatal("functions missing")
+	}
+	// Round trip again.
+	m2, err := Parse(m.String())
+	if err != nil {
+		t.Fatalf("second parse: %v", err)
+	}
+	if m2.String() != m.String() {
+		t.Error("second round trip diverged")
+	}
+}
+
+func TestParseCheckpointOps(t *testing.T) {
+	src := `module ck
+global g[4]
+func main(params=0 regs=2 frame=0):
+header#0:
+  setrecovery region=3
+  r0 = global #0
+  r1 = const 9
+  ckptreg r1 region=3
+  ckptmem [r0+1] region=3
+  store [r0+1] = r1
+  jmp done#1
+done#1:
+  ret
+func rec(params=0 regs=0 frame=0):
+entry#0:
+  restore region=3
+  ret
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2, err := Parse(m.String()); err != nil || m2.String() != m.String() {
+		t.Fatalf("checkpoint round trip failed: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no module line
+		"module x\nfunc broken", // malformed header
+		"module x\nglobal g[",   // malformed global
+		"module x\nfunc f(params=0 regs=1 frame=0):\nentry#0:\n  r0 = frob r0\n  ret",        // unknown opcode
+		"module x\nfunc f(params=0 regs=1 frame=0):\nentry#0:\n  r0 = call nope()\n  ret r0", // unknown callee
+		"module x\nfunc f(params=0 regs=0 frame=0):\nentry#0:\n  jmp other#7",                // bad block id
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected error for %q", strings.SplitN(src, "\n", 2)[0]+"...")
+		}
+	}
+}
+
+func TestParseNegativeOffsets(t *testing.T) {
+	src := `module neg
+global g[8]
+func main(params=0 regs=2 frame=0):
+entry#0:
+  r0 = global #0
+  r0 = addi r0, 4
+  r1 = load [r0+-2]
+  store [r0+-1] = r1
+  ret r1
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := m.Funcs[0].Blocks[0].Instrs[2]
+	if in.Op != OpLoad || in.Imm != -2 {
+		t.Errorf("negative offset parsed as %+v", in)
+	}
+}

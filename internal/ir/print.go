@@ -1,0 +1,100 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module as readable pseudo-assembly. Intended for
+// debugging and golden tests; the format is stable.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module %s\n", m.Name)
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s[%d]\n", g.Name, g.Size)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function as readable pseudo-assembly.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(params=%d regs=%d frame=%d):\n",
+		f.Name, f.NumParams, f.NumRegs, f.FrameSize)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b)
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", b.Instrs[i].String())
+		}
+		fmt.Fprintf(&sb, "  %s\n", b.Term.String())
+	}
+	return sb.String()
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	switch {
+	case in.Op == OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case in.Op == OpLoad:
+		return fmt.Sprintf("r%d = load [r%d+%d]", in.Dst, in.A, in.Imm)
+	case in.Op == OpStore:
+		return fmt.Sprintf("store [r%d+%d] = r%d", in.A, in.Imm, in.B)
+	case in.Op == OpFrame:
+		return fmt.Sprintf("r%d = frame %d", in.Dst, in.Imm)
+	case in.Op == OpGlobal:
+		return fmt.Sprintf("r%d = global #%d", in.Dst, in.Imm)
+	case in.Op == OpCall:
+		return fmt.Sprintf("r%d = call %s%s", in.Dst, in.Callee.Name, regList(in.Args))
+	case in.Op == OpExtern:
+		return fmt.Sprintf("r%d = extern %s%s", in.Dst, in.Extern, regList(in.Args))
+	case in.Op == OpSetRecovery:
+		return fmt.Sprintf("setrecovery region=%d", in.Imm)
+	case in.Op == OpCkptReg:
+		return fmt.Sprintf("ckptreg r%d region=%d", in.A, in.Imm)
+	case in.Op == OpCkptMem:
+		return fmt.Sprintf("ckptmem [r%d+%d] region=%d", in.A, in.Imm2, in.Imm)
+	case in.Op == OpRestore:
+		return fmt.Sprintf("restore region=%d", in.Imm)
+	case in.Op.IsBinary():
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Op, in.A, in.B)
+	case in.Op == OpAddI, in.Op == OpMulI, in.Op == OpAndI, in.Op == OpShlI, in.Op == OpShrI:
+		return fmt.Sprintf("r%d = %s r%d, %d", in.Dst, in.Op, in.A, in.Imm)
+	case in.Op.IsUnary():
+		return fmt.Sprintf("r%d = %s r%d", in.Dst, in.Op, in.A)
+	}
+	return fmt.Sprintf("r%d = %s ?", in.Dst, in.Op)
+}
+
+// String renders a terminator.
+func (t Terminator) String() string {
+	switch t.Op {
+	case TermJmp:
+		return fmt.Sprintf("jmp %s", t.Targets[0])
+	case TermBr:
+		return fmt.Sprintf("br r%d, %s, %s", t.Cond, t.Targets[0], t.Targets[1])
+	case TermSwitch:
+		names := make([]string, len(t.Targets))
+		for i, b := range t.Targets {
+			names[i] = b.String()
+		}
+		return fmt.Sprintf("switch r%d, [%s]", t.Cond, strings.Join(names, " "))
+	case TermRet:
+		if t.HasVal {
+			return fmt.Sprintf("ret r%d", t.Val)
+		}
+		return "ret"
+	}
+	return "invalid-term"
+}
+
+func regList(rs []Reg) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("r%d", r)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,28 @@
+package model_test
+
+import (
+	"fmt"
+
+	"encore/internal/model"
+)
+
+// ExampleAlpha evaluates the paper's Equation 7 at its two regimes: a
+// region longer than the detection latency bound, and one shorter.
+func ExampleAlpha() {
+	fmt.Printf("n=1000 D=100: %.3f\n", model.Alpha(1000, 100))
+	fmt.Printf("n=50   D=100: %.3f\n", model.Alpha(50, 100))
+	// Output:
+	// n=1000 D=100: 0.950
+	// n=50   D=100: 0.250
+}
+
+// ExampleAlphaNumeric integrates Equation 6 for a non-uniform detector.
+func ExampleAlphaNumeric() {
+	uniform := model.AlphaNumeric(200, model.Uniform{Max: 200}, model.Uniform{Max: 400}, 400)
+	fast := model.AlphaNumeric(200, model.Uniform{Max: 200}, model.Triangular{Max: 400}, 400)
+	fmt.Printf("uniform detector:    %.2f\n", uniform)
+	fmt.Printf("fast-biased detector: %.2f\n", fast)
+	// Output:
+	// uniform detector:    0.25
+	// fast-biased detector: 0.42
+}

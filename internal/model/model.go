@@ -1,0 +1,103 @@
+// Package model implements Encore's analytical recoverability model
+// (paper §4.2): the detection-latency scaling factor α of Equations 6–7
+// and the distributions it integrates over.
+package model
+
+// Alpha returns the latency scaling factor α for a region whose hot path
+// is n dynamic instructions long under a uniform fault-site distribution
+// g(s) = 1/n over [0, n] and a uniform detection-latency distribution
+// f(l) = 1/Dmax over [0, Dmax] — the closed form of Equation 7:
+//
+//	α = 1 − Dmax/(2n)   for n ≥ Dmax
+//	α = n/(2·Dmax)      for n <  Dmax
+//
+// α is the probability that a fault striking inside the region is
+// detected before control leaves it (s + l < n).
+func Alpha(n, dmax float64) float64 {
+	if n <= 0 || dmax < 0 {
+		return 0
+	}
+	if dmax == 0 {
+		return 1 // zero-latency detector: every in-region fault is caught in place
+	}
+	if n >= dmax {
+		return 1 - dmax/(2*n)
+	}
+	return n / (2 * dmax)
+}
+
+// Density is a probability density on [0, Max].
+type Density interface {
+	// PDF evaluates the density at x.
+	PDF(x float64) float64
+	// Sup returns the upper end of the support.
+	Sup() float64
+}
+
+// Uniform is the uniform density on [0, Max].
+type Uniform struct{ Max float64 }
+
+// PDF implements Density.
+func (u Uniform) PDF(x float64) float64 {
+	if x < 0 || x > u.Max || u.Max <= 0 {
+		return 0
+	}
+	return 1 / u.Max
+}
+
+// Sup implements Density.
+func (u Uniform) Sup() float64 { return u.Max }
+
+// Triangular is a decreasing triangular density on [0, Max], modeling
+// detectors that usually fire quickly but occasionally take long:
+// f(x) = 2(Max−x)/Max².
+type Triangular struct{ Max float64 }
+
+// PDF implements Density.
+func (t Triangular) PDF(x float64) float64 {
+	if x < 0 || x > t.Max || t.Max <= 0 {
+		return 0
+	}
+	return 2 * (t.Max - x) / (t.Max * t.Max)
+}
+
+// Sup implements Density.
+func (t Triangular) Sup() float64 { return t.Max }
+
+// AlphaNumeric evaluates Equation 6 by numeric integration for arbitrary
+// fault-site and latency densities:
+//
+//	α = ∫₀ⁿ ∫₀ˢ f(l) g(s) dl ds
+//
+// using steps×steps midpoint quadrature. It generalizes Alpha to
+// non-uniform detectors; with two Uniform densities it converges to the
+// Equation-7 closed form.
+func AlphaNumeric(n float64, site, latency Density, steps int) float64 {
+	if n <= 0 || steps <= 0 {
+		return 0
+	}
+	ds := n / float64(steps)
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		s := (float64(i) + 0.5) * ds
+		// Inner integral: P(l < n - s)... Equation 6 as printed integrates
+		// l over [0, s]; the event of interest is s + l < n, i.e. l < n−s.
+		// (For a fault at s the detector must fire within the remaining
+		// n−s instructions of the region.)
+		lim := n - s
+		if sup := latency.Sup(); lim > sup {
+			lim = sup
+		}
+		if lim <= 0 {
+			continue
+		}
+		inner := 0.0
+		dl := lim / float64(steps)
+		for j := 0; j < steps; j++ {
+			l := (float64(j) + 0.5) * dl
+			inner += latency.PDF(l) * dl
+		}
+		total += inner * site.PDF(s) * ds
+	}
+	return total
+}

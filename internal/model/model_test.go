@@ -1,0 +1,89 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlphaClosedForm(t *testing.T) {
+	cases := []struct {
+		n, dmax, want float64
+	}{
+		{1000, 100, 1 - 100.0/2000},   // n >= Dmax branch
+		{100, 100, 1 - 100.0/200},     // boundary: both branches agree at 0.5
+		{50, 100, 50.0 / 200},         // n < Dmax branch
+		{10, 1000, 10.0 / 2000},       // tiny region, slow detector
+		{100000, 10, 1 - 10.0/200000}, // huge region, fast detector
+	}
+	for _, c := range cases {
+		if got := Alpha(c.n, c.dmax); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Alpha(%g, %g) = %g, want %g", c.n, c.dmax, got, c.want)
+		}
+	}
+	if Alpha(0, 100) != 0 {
+		t.Error("empty region has zero coverage")
+	}
+	if Alpha(100, 0) != 1 {
+		t.Error("zero-latency detector catches everything in-region")
+	}
+}
+
+func TestAlphaProperties(t *testing.T) {
+	f := func(nRaw, dRaw uint16) bool {
+		n := float64(nRaw%5000) + 1
+		d := float64(dRaw%5000) + 1
+		a := Alpha(n, d)
+		if a < 0 || a > 1 {
+			return false
+		}
+		// Monotone: bigger regions are covered better; slower detectors worse.
+		if Alpha(n+100, d) < a-1e-12 {
+			return false
+		}
+		if Alpha(n, d+100) > a+1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaNumericMatchesClosedForm(t *testing.T) {
+	for _, c := range []struct{ n, d float64 }{
+		{1000, 100}, {100, 1000}, {500, 500}, {20, 100}, {5000, 10},
+	} {
+		want := Alpha(c.n, c.d)
+		got := AlphaNumeric(c.n, Uniform{Max: c.n}, Uniform{Max: c.d}, 400)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("AlphaNumeric(n=%g, D=%g) = %.4f, closed form %.4f", c.n, c.d, got, want)
+		}
+	}
+}
+
+func TestTriangularBeatsUniform(t *testing.T) {
+	// A detector that usually fires quickly covers more than a uniform one
+	// with the same maximum latency.
+	n, d := 200.0, 400.0
+	uni := AlphaNumeric(n, Uniform{Max: n}, Uniform{Max: d}, 400)
+	tri := AlphaNumeric(n, Uniform{Max: n}, Triangular{Max: d}, 400)
+	if tri <= uni {
+		t.Errorf("triangular latency should improve coverage: tri %.4f vs uni %.4f", tri, uni)
+	}
+}
+
+func TestDensitiesIntegrateToOne(t *testing.T) {
+	for _, d := range []Density{Uniform{Max: 123}, Triangular{Max: 77}} {
+		steps := 10000
+		dx := d.Sup() / float64(steps)
+		sum := 0.0
+		for i := 0; i < steps; i++ {
+			sum += d.PDF((float64(i)+0.5)*dx) * dx
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Errorf("%T integrates to %.5f", d, sum)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package opt
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+	"encore/internal/ir"
+	"encore/internal/workload"
+)
+
+// TestOptimizePreservesAllWorkloads is the optimizer's contract: identical
+// output on every benchmark, with strictly fewer (or equal) dynamic
+// instructions.
+func TestOptimizePreservesAllWorkloads(t *testing.T) {
+	for _, sp := range workload.All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			base := sp.Build()
+			m1 := interp.New(base.Mod, interp.Config{})
+			if _, err := m1.Run(); err != nil {
+				t.Fatal(err)
+			}
+			golden := m1.Checksum(base.Outputs...)
+
+			art := sp.Build()
+			stats := Optimize(art.Mod)
+			if err := art.Mod.Verify(); err != nil {
+				t.Fatalf("optimizer broke the module: %v", err)
+			}
+			m2 := interp.New(art.Mod, interp.Config{})
+			if _, err := m2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := m2.Checksum(art.Outputs...); got != golden {
+				t.Fatalf("output changed: %x != %x (stats %+v)", got, golden, stats)
+			}
+			if m2.BaseCount > m1.BaseCount {
+				t.Errorf("optimizer grew dynamic instructions: %d -> %d", m1.BaseCount, m2.BaseCount)
+			}
+			t.Logf("dyn %d -> %d (-%.1f%%), folded=%d copies=%d dead=%d blocks=%d",
+				m1.BaseCount, m2.BaseCount,
+				100*float64(m1.BaseCount-m2.BaseCount)/float64(m1.BaseCount),
+				stats.Folded, stats.CopiesForwarded, stats.DeadRemoved, stats.BlocksRemoved)
+		})
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	a, c, d, e := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	b.Const(a, 6)
+	b.Const(c, 7)
+	b.Mul(d, a, c)  // foldable to 42
+	b.AddI(e, d, 0) // identity: mov
+	b.Ret(e)
+	f.Recompute()
+
+	Optimize(m)
+	mach := interp.New(m, interp.Config{})
+	got, err := mach.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+	// The multiply must now be a constant.
+	found := false
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.OpConst && in.Imm == 42 {
+			found = true
+		}
+		if in.Op == ir.OpMul {
+			t.Error("multiply not folded")
+		}
+	}
+	if !found {
+		t.Error("folded constant missing")
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", 4)
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	dead, live, gb := f.NewReg(), f.NewReg(), f.NewReg()
+	b.Const(dead, 123) // never used
+	b.Const(live, 9)
+	b.GlobalAddr(gb, g)
+	b.Store(gb, 0, live) // side effect: must stay
+	b.Ret(live)
+	f.Recompute()
+
+	before := len(f.Blocks[0].Instrs)
+	s := Optimize(m)
+	if s.DeadRemoved == 0 || len(f.Blocks[0].Instrs) >= before {
+		t.Errorf("dead const not removed (stats %+v)", s)
+	}
+	for _, in := range f.Blocks[0].Instrs {
+		if in.Op == ir.OpStore {
+			return
+		}
+	}
+	t.Error("store with side effect was removed")
+}
+
+func TestCopyPropagation(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 1)
+	b := f.NewBlock("entry")
+	cp, r := f.NewReg(), f.NewReg()
+	b.Mov(cp, 0)     // cp = param
+	b.AddI(r, cp, 5) // should become r = param + 5
+	b.Ret(r)
+	f.Recompute()
+
+	s := Optimize(m)
+	if s.CopiesForwarded == 0 {
+		t.Fatalf("no copies forwarded: %+v", s)
+	}
+	mach := interp.New(m, interp.Config{})
+	got, err := mach.Call(f, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestUnreachableRemoval(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	orphan := f.NewBlock("orphan")
+	r := f.NewReg()
+	entry.Const(r, 1)
+	entry.Ret(r)
+	orphan.RetVoid()
+	f.Recompute()
+
+	s := Optimize(m)
+	if s.BlocksRemoved != 1 || len(f.Blocks) != 1 {
+		t.Errorf("orphan not removed: %+v, %d blocks", s, len(f.Blocks))
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizeKeepsInstrumentation: checkpoint pseudo-ops are never
+// removed even when their operands look dead.
+func TestOptimizeKeepsInstrumentation(t *testing.T) {
+	m := ir.NewModule("t")
+	g := m.NewGlobal("g", 4)
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	gb, v := f.NewReg(), f.NewReg()
+	b.SetRecovery(1)
+	b.GlobalAddr(gb, g)
+	b.Const(v, 5)
+	b.CkptReg(v, 1)
+	b.CkptMem(gb, 0, 1)
+	b.Store(gb, 0, v)
+	b.RetVoid()
+	f.Recompute()
+
+	Optimize(m)
+	counts := map[ir.Opcode]int{}
+	for _, in := range f.Blocks[0].Instrs {
+		counts[in.Op]++
+	}
+	for _, op := range []ir.Opcode{ir.OpSetRecovery, ir.OpCkptReg, ir.OpCkptMem, ir.OpStore} {
+		if counts[op] != 1 {
+			t.Errorf("%v count = %d after optimization", op, counts[op])
+		}
+	}
+}

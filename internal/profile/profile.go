@@ -1,0 +1,160 @@
+// Package profile collects and serves edge/block execution profiles.
+// Encore's heuristics are profile-driven: Pmin pruning (§3.4.1), hot-path
+// coverage estimation, and the γ/η region-selection thresholds (§3.4.2)
+// all consume this data.
+package profile
+
+import (
+	"fmt"
+
+	"encore/internal/alias"
+	"encore/internal/interp"
+	"encore/internal/ir"
+)
+
+// Data is an execution profile of one module run.
+type Data struct {
+	Block map[*ir.Block]int64
+	Edge  map[*ir.Block][]int64
+	// Total is the number of baseline dynamic instructions executed.
+	Total int64
+}
+
+// Collect runs the module's main function once under the interpreter with
+// profiling enabled and returns the gathered counts.
+func Collect(mod *ir.Module, cfg interp.Config) (*Data, error) {
+	d, _, err := collect(mod, cfg, false)
+	return d, err
+}
+
+// AddrProfile maps each static memory reference to the absolute-address
+// footprint it touched during profiling — the dynamic memory profile the
+// paper names as future work for sharper alias disambiguation.
+type AddrProfile map[alias.InstrPos]*alias.Range
+
+// CollectWithAddresses is Collect plus per-reference address footprints.
+func CollectWithAddresses(mod *ir.Module, cfg interp.Config) (*Data, AddrProfile, error) {
+	return collect(mod, cfg, true)
+}
+
+// addrRecorder observes every load/store address.
+type addrRecorder struct {
+	obs AddrProfile
+}
+
+func (a *addrRecorder) OnInstr(m *interp.Machine, b *ir.Block, idx int) {
+	if idx >= len(b.Instrs) {
+		return
+	}
+	in := &b.Instrs[idx]
+	if in.Op != ir.OpLoad && in.Op != ir.OpStore {
+		return
+	}
+	addr, ok := m.PeekAddr(in)
+	if !ok {
+		return
+	}
+	pos := alias.InstrPos{Block: b, Index: idx}
+	r := a.obs[pos]
+	if r == nil {
+		a.obs[pos] = &alias.Range{Min: addr, Max: addr, Count: 1}
+		return
+	}
+	if addr < r.Min {
+		r.Min = addr
+	}
+	if addr > r.Max {
+		r.Max = addr
+	}
+	r.Count++
+}
+
+func collect(mod *ir.Module, cfg interp.Config, withAddrs bool) (*Data, AddrProfile, error) {
+	cfg.Profile = true
+	var rec *addrRecorder
+	if withAddrs {
+		rec = &addrRecorder{obs: AddrProfile{}}
+		cfg.Hook = rec
+	}
+	m := interp.New(mod, cfg)
+	if _, err := m.Run(); err != nil {
+		return nil, nil, fmt.Errorf("profile run: %w", err)
+	}
+	d := &Data{Block: m.Prof.Block, Edge: m.Prof.Edge, Total: m.BaseCount}
+	if rec != nil {
+		return d, rec.obs, nil
+	}
+	return d, nil, nil
+}
+
+// Freq returns the execution count of block b.
+func (d *Data) Freq(b *ir.Block) int64 { return d.Block[b] }
+
+// EdgeFreq returns how many times the i-th outgoing edge of b was taken.
+func (d *Data) EdgeFreq(b *ir.Block, i int) int64 {
+	e := d.Edge[b]
+	if i >= len(e) {
+		return 0
+	}
+	return e[i]
+}
+
+// DynInstrs returns the dynamic instruction contribution of block b
+// (executions × static size, terminator included).
+func (d *Data) DynInstrs(b *ir.Block) int64 {
+	return d.Block[b] * int64(b.NumInstrs())
+}
+
+// RegionDynInstrs sums the dynamic instructions spent inside a block set.
+func (d *Data) RegionDynInstrs(blocks map[*ir.Block]bool) int64 {
+	var n int64
+	for b := range blocks {
+		n += d.DynInstrs(b)
+	}
+	return n
+}
+
+// HotPath walks the most frequently taken edges from header until control
+// leaves the block set, revisits a block, or reaches a return. It returns
+// the blocks on the path and the path's dynamic instruction length — the
+// paper's compile-time surrogate for region coverage (§3.4.2).
+func (d *Data) HotPath(header *ir.Block, blocks map[*ir.Block]bool) ([]*ir.Block, int) {
+	var path []*ir.Block
+	visited := map[*ir.Block]bool{}
+	n := 0
+	b := header
+	for b != nil && blocks[b] && !visited[b] {
+		visited[b] = true
+		path = append(path, b)
+		n += b.NumInstrs()
+		var next *ir.Block
+		var best int64 = -1
+		for i, t := range b.Term.Targets {
+			f := d.EdgeFreq(b, i)
+			if f > best {
+				best = f
+				next = t
+			}
+		}
+		b = next
+	}
+	return path, n
+}
+
+// StaticHotPath is the profile-free fallback: it follows first targets.
+func StaticHotPath(header *ir.Block, blocks map[*ir.Block]bool) ([]*ir.Block, int) {
+	var path []*ir.Block
+	visited := map[*ir.Block]bool{}
+	n := 0
+	b := header
+	for b != nil && blocks[b] && !visited[b] {
+		visited[b] = true
+		path = append(path, b)
+		n += b.NumInstrs()
+		if len(b.Term.Targets) == 0 {
+			break
+		}
+		b = b.Term.Targets[0]
+	}
+	return path, n
+}

@@ -1,0 +1,109 @@
+package profile
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+	"encore/internal/ir"
+)
+
+func loopModule(trip int64) (*ir.Module, map[string]*ir.Block) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 0)
+	bs := map[string]*ir.Block{}
+	for _, n := range []string{"entry", "head", "hot", "cold", "latch", "exit"} {
+		bs[n] = f.NewBlock(n)
+	}
+	i, bound, cond, rare := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	bs["entry"].Const(i, 0)
+	bs["entry"].Jmp(bs["head"])
+	bs["head"].Const(bound, trip)
+	bs["head"].Bin(ir.OpLt, cond, i, bound)
+	bs["head"].Br(cond, bs["hot"], bs["exit"])
+	// hot -> cold only every 8th iteration.
+	bs["hot"].AndI(rare, i, 7)
+	eq := f.NewReg()
+	zero := f.NewReg()
+	bs["hot"].Const(zero, 0)
+	bs["hot"].Bin(ir.OpEq, eq, rare, zero)
+	bs["hot"].Br(eq, bs["cold"], bs["latch"])
+	bs["cold"].Jmp(bs["latch"])
+	bs["latch"].AddI(i, i, 1)
+	bs["latch"].Jmp(bs["head"])
+	bs["exit"].RetVoid()
+	f.Recompute()
+	return m, bs
+}
+
+func TestCollectCounts(t *testing.T) {
+	m, bs := loopModule(64)
+	d, err := Collect(m, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Freq(bs["head"]) != 65 || d.Freq(bs["hot"]) != 64 {
+		t.Errorf("head=%d hot=%d", d.Freq(bs["head"]), d.Freq(bs["hot"]))
+	}
+	if d.Freq(bs["cold"]) != 8 {
+		t.Errorf("cold=%d, want 8", d.Freq(bs["cold"]))
+	}
+	if d.EdgeFreq(bs["head"], 0) != 64 || d.EdgeFreq(bs["head"], 1) != 1 {
+		t.Errorf("head edges %d/%d", d.EdgeFreq(bs["head"], 0), d.EdgeFreq(bs["head"], 1))
+	}
+	if d.Total <= 0 {
+		t.Error("total instructions must be positive")
+	}
+	if d.DynInstrs(bs["hot"]) != 64*int64(bs["hot"].NumInstrs()) {
+		t.Error("DynInstrs mismatch")
+	}
+}
+
+func TestHotPathFollowsFrequentEdges(t *testing.T) {
+	m, bs := loopModule(64)
+	d, err := Collect(m, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := map[*ir.Block]bool{
+		bs["head"]: true, bs["hot"]: true, bs["cold"]: true, bs["latch"]: true,
+	}
+	path, n := d.HotPath(bs["head"], region)
+	if n <= 0 {
+		t.Fatal("empty hot path")
+	}
+	for _, b := range path {
+		if b == bs["cold"] {
+			t.Error("hot path must avoid the 1-in-8 cold block")
+		}
+	}
+	// Path should be head -> hot -> latch (stops at revisit of head).
+	if len(path) != 3 || path[0] != bs["head"] || path[1] != bs["hot"] || path[2] != bs["latch"] {
+		t.Errorf("hot path = %v", path)
+	}
+}
+
+func TestStaticHotPath(t *testing.T) {
+	m, bs := loopModule(4)
+	_ = m
+	region := map[*ir.Block]bool{bs["head"]: true, bs["hot"]: true, bs["cold"]: true, bs["latch"]: true}
+	path, n := StaticHotPath(bs["head"], region)
+	if len(path) == 0 || n <= 0 {
+		t.Error("static hot path empty")
+	}
+	if path[0] != bs["head"] {
+		t.Error("path must start at header")
+	}
+}
+
+func TestRegionDynInstrs(t *testing.T) {
+	m, bs := loopModule(16)
+	d, err := Collect(m, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := map[*ir.Block]bool{bs["hot"]: true, bs["latch"]: true}
+	want := d.DynInstrs(bs["hot"]) + d.DynInstrs(bs["latch"])
+	if got := d.RegionDynInstrs(region); got != want {
+		t.Errorf("RegionDynInstrs = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,411 @@
+// Package region implements Encore's region formation and selection
+// heuristics (paper §3.3–3.4): candidate SEME regions come from recursive
+// interval partitioning; adjacent regions are fused when the reliability
+// gain justifies the added checkpointing cost (ΔCoverage/ΔCost > η,
+// Equation 5); and regions are instrumented only when cost-effective
+// (Coverage/Cost > γ) within a global performance budget.
+package region
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"encore/internal/cfg"
+	"encore/internal/idem"
+	"encore/internal/ir"
+	"encore/internal/profile"
+)
+
+// Region is one recovery candidate: a SEME subgraph with its idempotence
+// analysis and cost/coverage metrics.
+type Region struct {
+	ID     int
+	Fn     *ir.Func
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+	Level  int // interval derivation level the region was adopted at
+
+	Analysis *idem.Result
+
+	// RegCkpts is the register checkpoint set: live-in registers the
+	// region overwrites.
+	RegCkpts []ir.Reg
+
+	// HotLen is the dynamic instruction length of the hot path through the
+	// region — the compile-time surrogate for coverage (§3.4.2).
+	HotLen int
+	// CkptOnHot counts instrumentation instructions executed per hot-path
+	// traversal: 1 (recovery-address update) + |RegCkpts| + 2 per CP store
+	// on the hot path.
+	CkptOnHot int
+
+	// DynInstrs is the profiled dynamic instruction count spent in the
+	// region; DynEntries the profiled header execution count.
+	DynInstrs  int64
+	DynEntries int64
+
+	// MultiCkpt is set when some CP store sits in a loop nested below the
+	// region header: it would execute more than once per region instance,
+	// overflowing the region's fixed checkpoint slots (Table 1's 10–100 B
+	// reserved stack area). Such regions cannot be protected at this
+	// granularity; their inner loops must be their own regions.
+	MultiCkpt bool
+
+	// Selected marks regions chosen for instrumentation.
+	Selected bool
+
+	loops *cfg.LoopForest    // for PruneCP's fixed-slot recheck
+	onHot map[*ir.Block]bool // hot-path membership, for cost updates
+}
+
+// Coverage returns the paper's coverage surrogate (hot-path length).
+func (r *Region) Coverage() float64 { return float64(r.HotLen) }
+
+// Cost returns the paper's cost estimate: checkpoint instructions per
+// hot-path instruction.
+func (r *Region) Cost() float64 {
+	if r.HotLen == 0 {
+		return math.Inf(1)
+	}
+	return float64(r.CkptOnHot) / float64(r.HotLen)
+}
+
+// Ratio is the γ selection metric Coverage/Cost.
+func (r *Region) Ratio() float64 {
+	c := r.Cost()
+	if c == 0 {
+		return math.Inf(1)
+	}
+	return r.Coverage() / c
+}
+
+// InstanceLen returns the average dynamic instruction length of one
+// region instance (entry to exit) — the n that Equation 7's α scales by.
+// Falls back to the static hot-path length for unprofiled regions.
+func (r *Region) InstanceLen() float64 {
+	if r.DynEntries > 0 {
+		return float64(r.DynInstrs) / float64(r.DynEntries)
+	}
+	return float64(r.HotLen)
+}
+
+// Protectable reports whether instrumentation can actually make this
+// region recoverable.
+func (r *Region) Protectable() bool {
+	return r.Analysis.Class != idem.Unknown && !r.Analysis.Unprotectable && !r.MultiCkpt
+}
+
+// PruneCP filters the checkpoint set to the stores accepted by keep and
+// recomputes the CP-dependent metrics (hot-path cost, the fixed-slot
+// constraint). Used by dynamic conflict profiling to drop statically
+// flagged stores that never violate idempotence at runtime.
+func (r *Region) PruneCP(keep func(idem.StoreRef) bool) {
+	var cp []idem.StoreRef
+	for _, s := range r.Analysis.CP {
+		if keep(s) {
+			cp = append(cp, s)
+		}
+	}
+	if len(cp) == len(r.Analysis.CP) {
+		return
+	}
+	r.Analysis.CP = cp
+	r.MultiCkpt = false
+	for _, s := range cp {
+		if l := r.loops.LoopOf(s.Pos.Block); l != nil && r.Blocks[l.Header] && l.Header != r.Header {
+			r.MultiCkpt = true
+			break
+		}
+	}
+	r.CkptOnHot = 1 + len(r.RegCkpts)
+	for _, s := range cp {
+		if r.onHot[s.Pos.Block] {
+			r.CkptOnHot += 2
+		}
+	}
+}
+
+// EstOverheadInstrs estimates the dynamic instrumentation instructions the
+// region adds per the profile: one recovery-address update per entry, the
+// register checkpoints per entry, and two instructions per dynamic
+// execution of each checkpointed store.
+func (r *Region) EstOverheadInstrs(prof *profile.Data) int64 {
+	if prof == nil {
+		return int64(r.CkptOnHot)
+	}
+	n := r.DynEntries * int64(1+len(r.RegCkpts))
+	for _, s := range r.Analysis.CP {
+		n += 2 * prof.Freq(s.Pos.Block)
+	}
+	return n
+}
+
+func (r *Region) String() string {
+	return fmt.Sprintf("region %d (%s, header %s, %d blocks, %s)",
+		r.ID, r.Fn.Name, r.Header, len(r.Blocks), r.Analysis.Class)
+}
+
+// FormConfig controls region formation.
+type FormConfig struct {
+	Eta float64 // merge threshold; <=0 disables the ΔCoverage/ΔCost gate
+}
+
+// Form builds the final region set for f: level-0 intervals, grown through
+// the derived interval sequence wherever the η heuristic approves the
+// merge. The returned final regions partition the reachable blocks of f;
+// candidates holds the level-0 interval regions before any merging — the
+// candidate recovery regions whose inherent idempotence paper Figure 5
+// reports.
+func Form(f *ir.Func, env *idem.Env, prof *profile.Data, cfgF FormConfig) (final, candidates []*Region) {
+	seq := cfg.IntervalSequence(f)
+	if len(seq) == 0 {
+		return nil, nil
+	}
+	lv := cfg.ComputeLiveness(f)
+
+	build := func(iv *cfg.Interval) *Region {
+		blocks := make(map[*ir.Block]bool, len(iv.Blocks))
+		for _, b := range iv.Blocks {
+			blocks[b] = true
+		}
+		return newRegion(f, iv.Header, blocks, iv.Level, env, prof, lv)
+	}
+
+	current := make([]*Region, 0, len(seq[0]))
+	for _, iv := range seq[0] {
+		current = append(current, build(iv))
+	}
+	candidates = append(candidates, current...)
+	for i, r := range candidates {
+		r.ID = i
+	}
+
+	grow := func(iv *cfg.Interval, children []*Region) []*Region {
+		// Incremental region growth (§3.4.2's "when to terminate the
+		// process of merging existing intervals"): starting from the child
+		// that owns the interval header, absorb sibling regions one at a
+		// time in program order. An absorption must keep the union
+		// single-entry (every external predecessor of the candidate's
+		// header already inside the union) and must pass the Equation-5
+		// η test; a candidate that fails is skipped, and anything
+		// control-dependent on it fails the single-entry check naturally.
+		var cur *Region
+		var rest []*Region
+		for _, c := range children {
+			if c.Header == iv.Header {
+				cur = c
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		if cur == nil {
+			return children
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].Header.ID < rest[j].Header.ID })
+		var kept []*Region
+		for _, next := range rest {
+			entryOK := true
+			for _, p := range next.Header.Preds {
+				if !cur.Blocks[p] && !next.Blocks[p] {
+					entryOK = false
+					break
+				}
+			}
+			if !entryOK {
+				kept = append(kept, next)
+				continue
+			}
+			union := make(map[*ir.Block]bool, len(cur.Blocks)+len(next.Blocks))
+			for b := range cur.Blocks {
+				union[b] = true
+			}
+			for b := range next.Blocks {
+				union[b] = true
+			}
+			cand := newRegion(f, cur.Header, union, iv.Level, env, prof, lv)
+			if approveMerge(cand, []*Region{cur, next}, cfgF.Eta) {
+				cur = cand
+			} else {
+				kept = append(kept, next)
+			}
+		}
+		return append([]*Region{cur}, kept...)
+	}
+
+	for _, level := range seq[1:] {
+		byHeader := map[*ir.Block]*Region{}
+		for _, r := range current {
+			byHeader[r.Header] = r
+		}
+		var next []*Region
+		for _, iv := range level {
+			// Children: current regions whose headers lie in this interval.
+			var children []*Region
+			for _, b := range iv.Blocks {
+				if r := byHeader[b]; r != nil {
+					children = append(children, r)
+				}
+			}
+			if len(children) <= 1 {
+				next = append(next, children...)
+				continue
+			}
+			next = append(next, grow(iv, children)...)
+		}
+		current = next
+	}
+
+	sort.Slice(current, func(i, j int) bool { return current[i].Header.ID < current[j].Header.ID })
+	for i, r := range current {
+		r.ID = i
+	}
+	return current, candidates
+}
+
+// approveMerge applies Equation 5: the merge is kept when the coverage
+// gain per added cost exceeds η, the merged region remains analyzable, and
+// it remains protectable if its children were.
+func approveMerge(merged *Region, children []*Region, eta float64) bool {
+	if merged.Analysis.Class == idem.Unknown {
+		for _, c := range children {
+			if c.Analysis.Class != idem.Unknown {
+				return false
+			}
+		}
+		return true // all children unknown anyway: prefer fewer regions
+	}
+	if !merged.Protectable() {
+		for _, c := range children {
+			if c.Protectable() {
+				return false
+			}
+		}
+	}
+	if eta <= 0 {
+		return true
+	}
+	maxCov, maxCost := 0.0, 0.0
+	for _, c := range children {
+		maxCov = math.Max(maxCov, c.Coverage())
+		maxCost = math.Max(maxCost, c.Cost())
+	}
+	if maxCov == 0 {
+		return true
+	}
+	dCoverage := merged.Coverage() / maxCov
+	dCost := merged.Cost() - maxCost
+	if dCost <= 0 {
+		return true // more coverage at no added cost: always merge
+	}
+	return dCoverage/dCost > eta
+}
+
+func newRegion(f *ir.Func, header *ir.Block, blocks map[*ir.Block]bool, level int,
+	env *idem.Env, prof *profile.Data, lv *cfg.Liveness) *Region {
+	r := &Region{
+		Fn:     f,
+		Header: header,
+		Blocks: blocks,
+		Level:  level,
+	}
+	r.Analysis = env.AnalyzeRegion(header, blocks)
+	r.RegCkpts = lv.RegionLiveInOverwritten(header, blocks)
+	for _, s := range r.Analysis.CP {
+		if l := env.Loops.LoopOf(s.Pos.Block); l != nil && blocks[l.Header] && l.Header != header {
+			r.MultiCkpt = true
+			break
+		}
+	}
+
+	var hot []*ir.Block
+	if prof != nil {
+		hot, r.HotLen = prof.HotPath(header, blocks)
+		r.DynInstrs = prof.RegionDynInstrs(blocks)
+		// One region instance per header execution: the recovery-address
+		// store at the top of the header re-arms on every pass, so a loop
+		// region rolls back at iteration granularity (which is what keeps
+		// the checkpoint buffer at Table 1's 10-100 B scale).
+		r.DynEntries = prof.Freq(header)
+	} else {
+		hot, r.HotLen = profile.StaticHotPath(header, blocks)
+	}
+	onHot := map[*ir.Block]bool{}
+	for _, b := range hot {
+		onHot[b] = true
+	}
+	r.onHot = onHot
+	r.loops = env.Loops
+	r.CkptOnHot = 1 + len(r.RegCkpts)
+	for _, s := range r.Analysis.CP {
+		if onHot[s.Pos.Block] {
+			r.CkptOnHot += 2
+		}
+	}
+	return r
+}
+
+// SelectConfig controls instrumentation selection.
+type SelectConfig struct {
+	// Gamma is the minimum Coverage/Cost ratio (γ); regions below it are
+	// never instrumented. Zero applies no floor.
+	Gamma float64
+	// Budget caps the estimated dynamic-instruction overhead as a fraction
+	// of the profiled baseline (the paper targets ~0.20). Zero means
+	// unlimited.
+	Budget float64
+}
+
+// Select marks the regions to instrument: all protectable regions pass
+// through the γ floor, then are admitted in decreasing cost-effectiveness
+// until the overhead budget is spent. It returns the estimated fractional
+// overhead of the selection. This mirrors the paper's per-application
+// empirical derivation of γ targeting a fixed overhead budget (§5).
+func Select(regions []*Region, prof *profile.Data, cfg SelectConfig) float64 {
+	type cand struct {
+		r        *Region
+		ratio    float64
+		overhead int64
+	}
+	var cands []cand
+	for _, r := range regions {
+		r.Selected = false
+		if !r.Protectable() {
+			continue
+		}
+		if r.DynEntries == 0 && prof != nil {
+			continue // never executed: no coverage to gain
+		}
+		ratio := r.Ratio()
+		if cfg.Gamma > 0 && ratio <= cfg.Gamma {
+			continue
+		}
+		cands = append(cands, cand{r, ratio, r.EstOverheadInstrs(prof)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ratio != cands[j].ratio {
+			return cands[i].ratio > cands[j].ratio
+		}
+		return cands[i].r.ID < cands[j].r.ID
+	})
+	var total int64 = 1
+	if prof != nil {
+		total = prof.Total
+	}
+	budgetInstrs := int64(math.MaxInt64)
+	if cfg.Budget > 0 && prof != nil {
+		budgetInstrs = int64(cfg.Budget * float64(total))
+	}
+	var spent int64
+	for _, c := range cands {
+		if spent+c.overhead > budgetInstrs {
+			continue
+		}
+		spent += c.overhead
+		c.r.Selected = true
+	}
+	if prof == nil || total == 0 {
+		return 0
+	}
+	return float64(spent) / float64(total)
+}

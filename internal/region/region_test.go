@@ -1,0 +1,140 @@
+package region
+
+import (
+	"testing"
+
+	"encore/internal/alias"
+	"encore/internal/idem"
+	"encore/internal/interp"
+	"encore/internal/ir"
+	"encore/internal/profile"
+	"encore/internal/workload"
+)
+
+func formWorkload(t *testing.T, name string, eta float64) ([]*Region, []*Region, *profile.Data) {
+	t.Helper()
+	sp, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := sp.Build()
+	prof, err := profile.Collect(art.Mod, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := alias.AnalyzeModule(art.Mod)
+	var fin, cand []*Region
+	for _, f := range art.Mod.Funcs {
+		env := idem.NewEnv(f, mi, alias.Static).WithProfile(prof.Freq, 0.0)
+		ff, cc := Form(f, env, prof, FormConfig{Eta: 0.5})
+		fin = append(fin, ff...)
+		cand = append(cand, cc...)
+	}
+	_ = eta
+	return fin, cand, prof
+}
+
+// TestFormPartition: final regions partition each function's reachable
+// blocks, every header dominates its region, and every external edge
+// enters at the header (the SEME property recovery correctness rests on).
+func TestFormPartition(t *testing.T) {
+	for _, name := range []string{"175.vpr", "183.equake", "179.art", "256.bzip2"} {
+		fin, cand, _ := formWorkload(t, name, 0.5)
+		if len(cand) < len(fin) {
+			t.Errorf("%s: merging cannot create regions (%d candidates, %d final)", name, len(cand), len(fin))
+		}
+		perFunc := map[*ir.Func]map[*ir.Block]int{}
+		for _, r := range fin {
+			m := perFunc[r.Fn]
+			if m == nil {
+				m = map[*ir.Block]int{}
+				perFunc[r.Fn] = m
+			}
+			for b := range r.Blocks {
+				m[b]++
+			}
+			// Single entry.
+			for b := range r.Blocks {
+				if b == r.Header {
+					continue
+				}
+				for _, p := range b.Preds {
+					if !r.Blocks[p] {
+						t.Errorf("%s: region %d has side entry %s -> %s", name, r.ID, p, b)
+					}
+				}
+			}
+		}
+		for fn, seen := range perFunc {
+			for _, b := range fn.Blocks {
+				if c := seen[b]; c > 1 {
+					t.Errorf("%s: block %s in %d regions", name, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectRespectsBudget: the estimated overhead of the selection never
+// exceeds the budget.
+func TestSelectRespectsBudget(t *testing.T) {
+	for _, budget := range []float64{0.05, 0.10, 0.20} {
+		fin, _, prof := formWorkload(t, "g721encode", 0.5)
+		est := Select(fin, prof, SelectConfig{Budget: budget})
+		if est > budget+1e-9 {
+			t.Errorf("budget %.2f: estimate %.4f exceeds it", budget, est)
+		}
+		var spent int64
+		for _, r := range fin {
+			if r.Selected {
+				if !r.Protectable() {
+					t.Errorf("selected unprotectable region %d", r.ID)
+				}
+				spent += r.EstOverheadInstrs(prof)
+			}
+		}
+		if float64(spent)/float64(prof.Total) > budget+1e-9 {
+			t.Errorf("budget %.2f: actual spend %.4f", budget, float64(spent)/float64(prof.Total))
+		}
+	}
+}
+
+// TestGammaFloor: a huge γ excludes every non-trivial region.
+func TestGammaFloor(t *testing.T) {
+	fin, _, prof := formWorkload(t, "rawdaudio", 0.5)
+	Select(fin, prof, SelectConfig{Gamma: 1e12})
+	for _, r := range fin {
+		if r.Selected && r.Ratio() <= 1e12 {
+			t.Errorf("region %d selected below the γ floor (ratio %.1f)", r.ID, r.Ratio())
+		}
+	}
+}
+
+// TestMultiCkptNeverSelected: regions whose CP stores live in nested loops
+// can never be selected — their fixed slots would overflow.
+func TestMultiCkptNeverSelected(t *testing.T) {
+	for _, name := range workload.Names() {
+		fin, cand, prof := formWorkload(t, name, 0.5)
+		Select(fin, prof, SelectConfig{Budget: 0.2})
+		for _, rs := range [][]*Region{fin, cand} {
+			for _, r := range rs {
+				if r.MultiCkpt && r.Selected {
+					t.Errorf("%s: multi-ckpt region %d selected", name, r.ID)
+				}
+			}
+		}
+	}
+}
+
+// TestInstanceLenVsHotLen: sanity of the α input.
+func TestInstanceLenVsHotLen(t *testing.T) {
+	fin, _, _ := formWorkload(t, "172.mgrid", 0.5)
+	for _, r := range fin {
+		if r.DynEntries > 0 && r.InstanceLen() <= 0 {
+			t.Errorf("region %d: non-positive instance length", r.ID)
+		}
+		if r.Cost() < 0 {
+			t.Errorf("region %d: negative cost", r.ID)
+		}
+	}
+}

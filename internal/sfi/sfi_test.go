@@ -1,0 +1,135 @@
+package sfi
+
+import (
+	"testing"
+
+	"encore/internal/core"
+	"encore/internal/ir"
+	"encore/internal/workload"
+)
+
+func buildOf(t *testing.T, name string) (func() (*ir.Module, []*ir.Global), workload.Spec) {
+	t.Helper()
+	sp, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (*ir.Module, []*ir.Global) {
+		a := sp.Build()
+		return a.Mod, a.Outputs
+	}, sp
+}
+
+// TestMasking checks the masking Monte Carlo produces sane rates on a
+// couple of representative workloads.
+func TestMasking(t *testing.T) {
+	for _, name := range []string{"175.vpr", "rawcaudio"} {
+		build, _ := buildOf(t, name)
+		res, err := MeasureMasking(build, MaskingConfig{Trials: 120, Seed: 42})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.ArchMasked+res.ArchVisible+res.NotInjected != res.Trials {
+			t.Errorf("%s: trial accounting broken: %+v", name, res)
+		}
+		if res.MaskedRate < 0.5 || res.MaskedRate > 1.0 {
+			t.Errorf("%s: implausible masked rate %.3f", name, res.MaskedRate)
+		}
+		t.Logf("%s: archMasked=%.2f total=%.3f", name, res.ArchMaskedRate, res.MaskedRate)
+	}
+}
+
+// TestCampaignRecovers runs an end-to-end injection campaign against an
+// Encore-instrumented workload and requires that a meaningful share of
+// faults are actually recovered by rollback, with full accounting.
+func TestCampaignRecovers(t *testing.T) {
+	for _, name := range []string{"175.vpr", "g721encode", "172.mgrid"} {
+		sp, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := sp.Build()
+		res, err := core.Compile(art.Mod, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		camp, err := RunCampaign(res.Mod, res.Metas, art.Outputs, CampaignConfig{Trials: 150, Seed: 7, Dmax: 100})
+		if err != nil {
+			t.Fatalf("%s: campaign: %v", name, err)
+		}
+		sum := 0
+		for _, c := range camp.Counts {
+			sum += c
+		}
+		if sum != camp.Trials {
+			t.Errorf("%s: outcome accounting broken: %+v", name, camp.Counts)
+		}
+		if camp.Counts[Recovered] == 0 {
+			t.Errorf("%s: no faults recovered by rollback at all: %+v", name, camp.Counts)
+		}
+		t.Logf("%s: recovered=%d benign=%d unrec=%d recwrong=%d sdc=%d crash=%d sameInst=%d",
+			name, camp.Counts[Recovered], camp.Counts[Benign],
+			camp.Counts[DetectedUnrecoverable], camp.Counts[RecoveredWrong],
+			camp.Counts[SilentCorruption], camp.Counts[Crashed], camp.SameInstance)
+	}
+}
+
+// TestLatencyGradient: measured same-instance recovery must degrade as
+// detection latency grows — the relationship Equation 7 formalizes.
+func TestLatencyGradient(t *testing.T) {
+	sp, err := workload.ByName("rawdaudio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := sp.Build()
+	res, err := core.Compile(art.Mod, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var same []int
+	for _, dmax := range []int64{10, 100, 1000} {
+		camp, err := RunCampaign(res.Mod, res.Metas, art.Outputs, CampaignConfig{
+			Trials: 200, Seed: 3, Dmax: dmax,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		same = append(same, camp.SameInstance)
+	}
+	if !(same[0] >= same[1] && same[1] >= same[2]) {
+		t.Errorf("same-instance recoveries must fall with latency: %v", same)
+	}
+	t.Logf("same-instance recoveries at Dmax 10/100/1000: %v", same)
+}
+
+// TestModelTracksMeasurement: the Equation-7 analytic prediction of
+// same-instance recovery must land within a loose band of the measured
+// rate (the paper's model is intentionally conservative).
+func TestModelTracksMeasurement(t *testing.T) {
+	for _, name := range []string{"rawcaudio", "g721encode", "175.vpr"} {
+		sp, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		art := sp.Build()
+		res, err := core.Compile(art.Mod, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov := res.RecoverableCoverage(100)
+		predicted := cov.RecovIdem + cov.RecovCkpt
+		camp, err := RunCampaign(res.Mod, res.Metas, art.Outputs, CampaignConfig{
+			Trials: 300, Seed: 5, Dmax: 100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		injected := camp.Trials - camp.Counts[NotInjected]
+		measured := float64(camp.SameInstance) / float64(injected)
+		if measured < predicted-0.15 {
+			t.Errorf("%s: measured same-instance rate %.3f far below prediction %.3f",
+				name, measured, predicted)
+		}
+		t.Logf("%s: predicted %.3f, measured %.3f", name, predicted, measured)
+	}
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"testing"
+
+	"encore/internal/ir"
+	"encore/internal/workload"
+)
+
+// buildStreams makes a program with a pure streaming phase (idempotent
+// traces) followed by an in-place RMW phase (non-idempotent traces).
+func buildStreams() *ir.Module {
+	m := ir.NewModule("t")
+	in := m.NewGlobal("in", 64)
+	out := m.NewGlobal("out", 64)
+	in.Init = make([]int64, 64)
+	for i := range in.Init {
+		in.Init[i] = int64(i)
+	}
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	h1 := f.NewBlock("h1")
+	b1 := f.NewBlock("b1")
+	h2 := f.NewBlock("h2")
+	b2 := f.NewBlock("b2")
+	exit := f.NewBlock("exit")
+
+	inB, outB, i, bound, cond, v, a := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(inB, in)
+	entry.GlobalAddr(outB, out)
+	entry.Const(i, 0)
+	entry.Jmp(h1)
+	h1.Const(bound, 64)
+	h1.Bin(ir.OpLt, cond, i, bound)
+	h1.Br(cond, b1, h2)
+	b1.Add(a, inB, i)
+	b1.Load(v, a, 0)
+	b1.Add(a, outB, i)
+	b1.Store(a, 0, v)
+	b1.AddI(i, i, 1)
+	b1.Jmp(h1)
+
+	j := f.NewReg()
+	h2.Const(j, 0)
+	h2.Jmp(b2)
+	b2.Add(a, outB, j)
+	b2.Load(v, a, 0)
+	b2.AddI(v, v, 1)
+	b2.Store(a, 0, v) // RMW: every window spanning it is non-idempotent
+	b2.AddI(j, j, 1)
+	b2.Bin(ir.OpLt, cond, j, bound)
+	b2.Br(cond, b2, exit)
+	exit.RetVoid()
+	f.Recompute()
+	return m
+}
+
+func TestWindowIdempotence(t *testing.T) {
+	rec, err := Record(buildStreams(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1 occupies roughly the first 64*7 instructions; windows there
+	// must be idempotent.
+	if !rec.WindowIdempotent(5, 50) {
+		t.Error("streaming-phase window must be idempotent")
+	}
+	// The whole run IS idempotent: phase 1 rewrites out[] before phase 2
+	// reads it, so re-execution from instruction 0 regenerates everything.
+	if !rec.WindowIdempotent(0, len(rec.Marks)-1) {
+		t.Error("whole-run window should be idempotent (phase 1 guards phase 2)")
+	}
+	// A window wholly inside phase 2 sees the RMW with its pre-window
+	// value exposed: non-idempotent.
+	if rec.WindowIdempotent(700, 100) {
+		t.Error("RMW-phase window must be non-idempotent")
+	}
+	fr := rec.Fractions([]int{10, 1000}, 50)
+	if fr[10] <= fr[1000] {
+		t.Errorf("short windows must be idempotent more often: %v", fr)
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	rec, err := Record(buildStreams(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.WindowIdempotent(-1, 10) || rec.WindowIdempotent(0, 1<<30) {
+		t.Error("out-of-range windows must report false")
+	}
+}
+
+func TestStoreThenLoadWindowIdempotent(t *testing.T) {
+	r := &Recorder{Cap: 10}
+	// store X; load X — guarded, idempotent.
+	r.Marks = []int32{0, 1, 2}
+	r.Events = []Event{{Addr: 5, IsStore: true}, {Addr: 5, IsStore: false}}
+	if !r.WindowIdempotent(0, 2) {
+		t.Error("write-before-read is idempotent")
+	}
+	// load X; store X — WAR.
+	r.Events = []Event{{Addr: 5, IsStore: false}, {Addr: 5, IsStore: true}}
+	if r.WindowIdempotent(0, 2) {
+		t.Error("read-then-write is not idempotent")
+	}
+}
+
+func TestFractionsOnRealWorkload(t *testing.T) {
+	sp, err := workload.ByName("172.mgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Record(sp.Build().Mod, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := rec.Fractions([]int{10, 100, 1000}, 100)
+	for L, v := range fr {
+		if v < 0 || v > 1 {
+			t.Errorf("fraction out of range at %d: %f", L, v)
+		}
+	}
+	if fr[10] < fr[1000] {
+		t.Errorf("monotonicity violated: %v", fr)
+	}
+}

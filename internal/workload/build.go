@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"encore/internal/ir"
+)
+
+// This file holds the small structured-control helpers the kernels are
+// written with. They emit the canonical loop shape the paper's interval
+// analysis expects: a header that tests the bound, a body, and a latch
+// that increments and branches back.
+
+// kb (kernel builder) wraps a function under construction with a current
+// insertion block, letting kernels read top-to-bottom.
+type kb struct {
+	f   *ir.Func
+	cur *ir.Block
+}
+
+func newKB(f *ir.Func, entry string) *kb {
+	return &kb{f: f, cur: f.NewBlock(entry)}
+}
+
+// b returns the current block for direct instruction emission.
+func (k *kb) b() *ir.Block { return k.cur }
+
+// reg allocates a fresh virtual register.
+func (k *kb) reg() ir.Reg { return k.f.NewReg() }
+
+// constInt emits a constant into a fresh register.
+func (k *kb) constInt(v int64) ir.Reg {
+	r := k.reg()
+	k.cur.Const(r, v)
+	return r
+}
+
+// global emits the address of g into a fresh register.
+func (k *kb) global(g *ir.Global) ir.Reg {
+	r := k.reg()
+	k.cur.GlobalAddr(r, g)
+	return r
+}
+
+// idx emits base+i into a fresh register (element address).
+func (k *kb) idx(base, i ir.Reg) ir.Reg {
+	r := k.reg()
+	k.cur.Add(r, base, i)
+	return r
+}
+
+// loop emits a counted loop `for i := lo; i < hi; i += step` around body.
+// The body callback runs with the kb positioned at the loop body's first
+// block; it may create further blocks and must leave k.cur unterminated.
+// After loop returns, k.cur is the loop exit block.
+func (k *kb) loop(name string, lo, hi, step int64, body func(i ir.Reg)) {
+	i := k.reg()
+	k.cur.Const(i, lo)
+	head := k.f.NewBlock(name + ".head")
+	bodyB := k.f.NewBlock(name + ".body")
+	exit := k.f.NewBlock(name + ".exit")
+	k.cur.Jmp(head)
+
+	bound := k.f.NewReg()
+	cond := k.f.NewReg()
+	head.Const(bound, hi)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, bodyB, exit)
+
+	k.cur = bodyB
+	body(i)
+	// Latch: increment and branch back.
+	k.cur.AddI(i, i, step)
+	k.cur.Jmp(head)
+	k.cur = exit
+}
+
+// loopDown emits `for i := hi-1; i >= lo; i--`.
+func (k *kb) loopDown(name string, hi, lo int64, body func(i ir.Reg)) {
+	i := k.reg()
+	k.cur.Const(i, hi-1)
+	head := k.f.NewBlock(name + ".head")
+	bodyB := k.f.NewBlock(name + ".body")
+	exit := k.f.NewBlock(name + ".exit")
+	k.cur.Jmp(head)
+
+	bound := k.f.NewReg()
+	cond := k.f.NewReg()
+	head.Const(bound, lo)
+	head.Bin(ir.OpLe, cond, bound, i)
+	head.Br(cond, bodyB, exit)
+
+	k.cur = bodyB
+	body(i)
+	k.cur.AddI(i, i, -1)
+	k.cur.Jmp(head)
+	k.cur = exit
+}
+
+// ifThen emits `if cond { then }`; the then callback may create blocks and
+// must leave k.cur unterminated. Afterwards k.cur is the join block.
+func (k *kb) ifThen(name string, cond ir.Reg, then func()) {
+	t := k.f.NewBlock(name + ".then")
+	join := k.f.NewBlock(name + ".join")
+	k.cur.Br(cond, t, join)
+	k.cur = t
+	then()
+	k.cur.Jmp(join)
+	k.cur = join
+}
+
+// ifElse emits a two-way conditional; both callbacks must leave k.cur
+// unterminated.
+func (k *kb) ifElse(name string, cond ir.Reg, then, els func()) {
+	t := k.f.NewBlock(name + ".then")
+	e := k.f.NewBlock(name + ".else")
+	join := k.f.NewBlock(name + ".join")
+	k.cur.Br(cond, t, e)
+	k.cur = t
+	then()
+	k.cur.Jmp(join)
+	k.cur = e
+	els()
+	k.cur.Jmp(join)
+	k.cur = join
+}
+
+// finish terminates the function returning v (or void with NoReg) and
+// recomputes the CFG.
+func (k *kb) finish(v ir.Reg) {
+	k.cur.Ret(v)
+	k.f.Recompute()
+}
+
+// accumChecksum emits out[0] ^= v — note this is a deliberate in-memory
+// read-modify-write (a WAR hazard) when used inside a region.
+func (k *kb) accumChecksum(outBase ir.Reg, v ir.Reg) {
+	old := k.reg()
+	k.cur.Load(old, outBase, 0)
+	nw := k.reg()
+	k.cur.Bin(ir.OpXor, nw, old, v)
+	k.cur.Store(outBase, 0, nw)
+}
+
+// coldPatch emits the defensive-path idiom ubiquitous in real C code: a
+// guard that never fires for the program's actual inputs, protecting an
+// in-place table/counter patch. Statically the patch is a WAR hazard on
+// every path through the region; dynamically the block's execution count
+// is zero, so Pmin = 0.0 pruning reclassifies the region as idempotent —
+// the effect paper Figure 5 measures.
+func (k *kb) coldPatch(name string, val ir.Reg, statsB ir.Reg, off int64) {
+	huge := k.constInt(1 << 40)
+	ov := k.reg()
+	k.b().Bin(ir.OpLt, ov, huge, val) // val > 2^40: impossible for these inputs
+	k.ifThen(name, ov, func() {
+		c := k.reg()
+		k.b().Load(c, statsB, off)
+		k.b().AddI(c, c, 1)
+		k.b().Store(statsB, off, c)
+	})
+}
+
+// coldPatchF is coldPatch for float values.
+func (k *kb) coldPatchF(name string, val ir.Reg, statsB ir.Reg, off int64) {
+	huge := k.reg()
+	k.b().ConstF(huge, 1e30)
+	ov := k.reg()
+	k.b().Bin(ir.OpFLt, ov, huge, val)
+	k.ifThen(name, ov, func() {
+		c := k.reg()
+		k.b().Load(c, statsB, off)
+		k.b().AddI(c, c, 1)
+		k.b().Store(statsB, off, c)
+	})
+}
+
+// bump emits stats[off] += v: the hot read-modify-write counter (bit-rate
+// accounting, MB counts) that codecs keep in memory. A cheap fixed-offset
+// checkpoint under Encore.
+func (k *kb) bump(statsB ir.Reg, off int64, v ir.Reg) {
+	c := k.reg()
+	k.cur.Load(c, statsB, off)
+	k.cur.Add(c, c, v)
+	k.cur.Store(statsB, off, c)
+}

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+)
+
+// TestWorkloadActivity checks that each kernel actually exercises its
+// interesting paths (pivots, swaps, inserts...) rather than compiling to a
+// pure read-only loop.
+func TestWorkloadActivity(t *testing.T) {
+	for _, sp := range All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			art := sp.Build()
+			if err := art.Mod.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			m := interp.New(art.Mod, interp.Config{})
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, g := range art.Outputs {
+				vals := m.ReadGlobal(g)
+				nonzero := 0
+				for _, v := range vals {
+					if v != 0 {
+						nonzero++
+					}
+				}
+				t.Logf("%s[%d]: %d nonzero, head=%v", g.Name, g.Size, nonzero, vals[:min(4, len(vals))])
+			}
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

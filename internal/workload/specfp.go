@@ -1,0 +1,632 @@
+package workload
+
+import (
+	"encore/internal/ir"
+)
+
+// SPEC2000 floating-point kernels: streaming array computations that read
+// one set of arrays and write another. Their scarcity of memory WARs is
+// what gives the FP suite its high inherent idempotence in Figures 5–6.
+
+func init() {
+	register("172.mgrid", SpecFP, buildMgrid)
+	register("173.applu", SpecFP, buildApplu)
+	register("177.mesa", SpecFP, buildMesa)
+	register("179.art", SpecFP, buildArt)
+	register("183.equake", SpecFP, buildEquake)
+}
+
+// buildMgrid reproduces mgrid's multigrid relaxation: a 3-D 7-point
+// stencil smoothing pass from u into v, a residual reduction, and a
+// coarse-grid restriction — all pure gather/scatter between distinct
+// arrays.
+func buildMgrid() *Artifact {
+	mod := ir.NewModule("172.mgrid")
+	const n = 12 // n^3 grid
+	const n3 = n * n * n
+	u := mod.NewGlobal("u", n3)
+	v := mod.NewGlobal("v", n3)
+	coarse := mod.NewGlobal("coarse", (n/2)*(n/2)*(n/2))
+	stats := mod.NewGlobal("mg_stats", 2)
+	out := mod.NewGlobal("out", 4)
+	fillRandF(u, 51)
+
+	smooth := mod.NewFunc("smooth", 0)
+	{
+		k := newKB(smooth, "entry")
+		uB, vB := k.global(u), k.global(v)
+		cSix := k.reg()
+		k.b().ConstF(cSix, 1.0/6.0)
+		k.loop("zi", 1, n-1, 1, func(z ir.Reg) {
+			k.loop("yi", 1, n-1, 1, func(y ir.Reg) {
+				k.loop("xi", 1, n-1, 1, func(x ir.Reg) {
+					// idx = (z*n + y)*n + x
+					t := k.reg()
+					k.b().MulI(t, z, n)
+					k.b().Add(t, t, y)
+					k.b().MulI(t, t, n)
+					k.b().Add(t, t, x)
+					base := k.idx(uB, t)
+					sum := k.reg()
+					l0, l1 := k.reg(), k.reg()
+					k.b().Load(l0, base, 1)
+					k.b().Load(l1, base, -1)
+					k.b().Bin(ir.OpFAdd, sum, l0, l1)
+					k.b().Load(l0, base, n)
+					k.b().Bin(ir.OpFAdd, sum, sum, l0)
+					k.b().Load(l0, base, -n)
+					k.b().Bin(ir.OpFAdd, sum, sum, l0)
+					k.b().Load(l0, base, n*n)
+					k.b().Bin(ir.OpFAdd, sum, sum, l0)
+					k.b().Load(l0, base, -n*n)
+					k.b().Bin(ir.OpFAdd, sum, sum, l0)
+					k.b().Bin(ir.OpFMul, sum, sum, cSix)
+					va := k.idx(vB, t)
+					k.b().Store(va, 0, sum)
+					// Divergence guard: dead for smooth inputs.
+					stB := k.global(stats)
+					k.coldPatchF("diverge", sum, stB, 0)
+				})
+			})
+		})
+		k.finish(ir.NoReg)
+	}
+
+	resid := mod.NewFunc("resid", 0)
+	{
+		k := newKB(resid, "entry")
+		uB, vB := k.global(u), k.global(v)
+		acc := k.reg()
+		k.b().ConstF(acc, 0)
+		k.loop("r", 0, n3, 1, func(i ir.Reg) {
+			ua := k.idx(uB, i)
+			va := k.idx(vB, i)
+			a, b := k.reg(), k.reg()
+			k.b().Load(a, ua, 0)
+			k.b().Load(b, va, 0)
+			d := k.reg()
+			k.b().Bin(ir.OpFSub, d, a, b)
+			k.b().Bin(ir.OpFMul, d, d, d)
+			k.b().Bin(ir.OpFAdd, acc, acc, d)
+		})
+		ret := k.reg()
+		k.b().Mov(ret, acc)
+		k.finish(ret)
+	}
+
+	restrict := mod.NewFunc("restrict", 0)
+	{
+		k := newKB(restrict, "entry")
+		vB, cB := k.global(v), k.global(coarse)
+		const hn = n / 2
+		k.loop("cz", 0, hn, 1, func(z ir.Reg) {
+			k.loop("cy", 0, hn, 1, func(y ir.Reg) {
+				k.loop("cx", 0, hn, 1, func(x ir.Reg) {
+					fz, fy, fx := k.reg(), k.reg(), k.reg()
+					k.b().MulI(fz, z, 2)
+					k.b().MulI(fy, y, 2)
+					k.b().MulI(fx, x, 2)
+					t := k.reg()
+					k.b().MulI(t, fz, n)
+					k.b().Add(t, t, fy)
+					k.b().MulI(t, t, n)
+					k.b().Add(t, t, fx)
+					va := k.idx(vB, t)
+					s := k.reg()
+					k.b().Load(s, va, 0)
+					ci := k.reg()
+					k.b().MulI(ci, z, hn)
+					k.b().Add(ci, ci, y)
+					k.b().MulI(ci, ci, hn)
+					k.b().Add(ci, ci, x)
+					ca := k.idx(cB, ci)
+					k.b().Store(ca, 0, s)
+				})
+			})
+		})
+		k.finish(ir.NoReg)
+	}
+
+	// Prolongation: interpolate the coarse-grid correction back onto the
+	// fine grid (reads coarse, updates u in place — the one RMW phase of
+	// the V-cycle, with statically known strides).
+	prolong := mod.NewFunc("prolong", 0)
+	{
+		k := newKB(prolong, "entry")
+		uB, cB := k.global(u), k.global(coarse)
+		const hn = n / 2
+		k.loop("pz", 0, hn, 1, func(z ir.Reg) {
+			k.loop("py", 0, hn, 1, func(y ir.Reg) {
+				k.loop("px", 0, hn, 1, func(x ir.Reg) {
+					ci := k.reg()
+					k.b().MulI(ci, z, hn)
+					k.b().Add(ci, ci, y)
+					k.b().MulI(ci, ci, hn)
+					k.b().Add(ci, ci, x)
+					corr := k.reg()
+					k.b().Load(corr, k.idx(cB, ci), 0)
+					fz, fy, fx := k.reg(), k.reg(), k.reg()
+					k.b().MulI(fz, z, 2)
+					k.b().MulI(fy, y, 2)
+					k.b().MulI(fx, x, 2)
+					fi := k.reg()
+					k.b().MulI(fi, fz, n)
+					k.b().Add(fi, fi, fy)
+					k.b().MulI(fi, fi, n)
+					k.b().Add(fi, fi, fx)
+					ua := k.idx(uB, fi)
+					uv := k.reg()
+					k.b().Load(uv, ua, 0)
+					quarter := k.reg()
+					k.b().ConstF(quarter, 0.25)
+					t := k.reg()
+					k.b().Bin(ir.OpFMul, t, corr, quarter)
+					k.b().Bin(ir.OpFAdd, uv, uv, t)
+					k.b().Store(ua, 0, uv)
+				})
+			})
+		})
+		k.finish(ir.NoReg)
+	}
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	r := k.reg()
+	k.loop("vcycle", 0, 4, 1, func(_ ir.Reg) {
+		k.b().Call(r, smooth)
+		k.b().Call(r, resid)
+		k.b().Call(r, restrict)
+		k.b().Call(r, prolong)
+	})
+	outB := k.global(out)
+	k.b().Store(outB, 0, r)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, v, coarse, u}}
+}
+
+// buildApplu reproduces applu's SSOR sweep: an rhs assembly (pure), then a
+// forward substitution whose in-place x updates read the element just
+// written for the previous row — the classic recurrence the static alias
+// analysis cannot disambiguate (Figure 7a's static/optimistic gap).
+func buildApplu() *Artifact {
+	mod := ir.NewModule("173.applu")
+	const nrows = 400
+	a := mod.NewGlobal("a", nrows)
+	b := mod.NewGlobal("b", nrows)
+	c := mod.NewGlobal("c", nrows)
+	rhs := mod.NewGlobal("rhs", nrows)
+	x := mod.NewGlobal("x", nrows)
+	out := mod.NewGlobal("out", 4)
+	fillRandF(a, 61)
+	fillRandF(b, 67)
+	fillRandF(c, 71)
+
+	assemble := mod.NewFunc("assemble_rhs", 0)
+	{
+		k := newKB(assemble, "entry")
+		aB, bB, cB, rB := k.global(a), k.global(b), k.global(c), k.global(rhs)
+		k.loop("rows", 0, nrows, 1, func(i ir.Reg) {
+			av, bv, cv := k.reg(), k.reg(), k.reg()
+			k.b().Load(av, k.idx(aB, i), 0)
+			k.b().Load(bv, k.idx(bB, i), 0)
+			k.b().Load(cv, k.idx(cB, i), 0)
+			s := k.reg()
+			k.b().Bin(ir.OpFMul, s, av, bv)
+			k.b().Bin(ir.OpFAdd, s, s, cv)
+			k.b().Store(k.idx(rB, i), 0, s)
+		})
+		k.finish(ir.NoReg)
+	}
+
+	sweep := mod.NewFunc("ssor_sweep", 0)
+	{
+		k := newKB(sweep, "entry")
+		rB, xB, bB := k.global(rhs), k.global(x), k.global(b)
+		zero := k.reg()
+		k.b().ConstF(zero, 0)
+		k.b().Store(xB, 0, zero)
+		k.loop("fwd", 1, nrows, 1, func(i ir.Reg) {
+			im1 := k.reg()
+			k.b().AddI(im1, i, -1)
+			prev := k.reg()
+			k.b().Load(prev, k.idx(xB, im1), 0) // recurrence read
+			rv, bv := k.reg(), k.reg()
+			k.b().Load(rv, k.idx(rB, i), 0)
+			k.b().Load(bv, k.idx(bB, i), 0)
+			t := k.reg()
+			k.b().Bin(ir.OpFMul, t, prev, bv)
+			k.b().Bin(ir.OpFAdd, t, t, rv)
+			half := k.reg()
+			k.b().ConstF(half, 0.5)
+			k.b().Bin(ir.OpFMul, t, t, half)
+			k.coldPatchF("pivotfail", t, rB, 0)
+			k.b().Store(k.idx(xB, i), 0, t) // in-place update
+		})
+		k.finish(ir.NoReg)
+	}
+
+	// l2norm: the convergence check applu runs each pseudo-time step —
+	// a pure reduction over the solution vector.
+	l2norm := mod.NewFunc("l2norm", 0)
+	{
+		k := newKB(l2norm, "entry")
+		xB := k.global(x)
+		acc := k.reg()
+		k.b().ConstF(acc, 0)
+		k.loop("norm", 0, nrows, 1, func(i ir.Reg) {
+			v := k.reg()
+			k.b().Load(v, k.idx(xB, i), 0)
+			sq := k.reg()
+			k.b().Bin(ir.OpFMul, sq, v, v)
+			k.b().Bin(ir.OpFAdd, acc, acc, sq)
+		})
+		k.finish(acc)
+	}
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	r := k.reg()
+	k.loop("steps", 0, 20, 1, func(_ ir.Reg) {
+		k.b().Call(r, assemble)
+		k.b().Call(r, sweep)
+		k.b().Call(r, l2norm)
+	})
+	outB := k.global(out)
+	xB := k.global(x)
+	last := k.reg()
+	k.b().Load(last, xB, nrows-1)
+	k.b().Store(outB, 0, last)
+	k.b().Store(outB, 1, r)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, x}}
+}
+
+// buildMesa reproduces mesa's vertex pipeline: a 4x4 transform of a vertex
+// buffer into clip space plus a span-fill rasterization into a framebuffer
+// region distinct from the inputs; a rare clip path bumps an in-memory
+// statistics counter.
+func buildMesa() *Artifact {
+	mod := ir.NewModule("177.mesa")
+	const nverts = 512
+	vin := mod.NewGlobal("verts_in", nverts*3)
+	vout := mod.NewGlobal("verts_out", nverts*3)
+	mat := mod.NewGlobal("matrix", 9)
+	fb := mod.NewGlobal("framebuffer", 1024)
+	zbuf := mod.NewGlobal("zbuffer", 1024)
+	stats := mod.NewGlobal("stats", 2)
+	out := mod.NewGlobal("out", 4)
+	fillRandF(vin, 73)
+	mat.Init = make([]int64, 9)
+	for i := range mat.Init {
+		mat.Init[i] = ir.FloatBits(float64((i*7)%5) * 0.25)
+	}
+
+	xformV := mod.NewFunc("transform", 0)
+	{
+		k := newKB(xformV, "entry")
+		viB, voB, mB, stB := k.global(vin), k.global(vout), k.global(mat), k.global(stats)
+		limit := k.reg()
+		k.b().ConstF(limit, 3.5)
+		k.loop("verts", 0, nverts, 1, func(i ir.Reg) {
+			base := k.reg()
+			k.b().MulI(base, i, 3)
+			va := k.idx(viB, base)
+			x, y, z := k.reg(), k.reg(), k.reg()
+			k.b().Load(x, va, 0).Load(y, va, 1).Load(z, va, 2)
+			oa := k.idx(voB, base)
+			// Row-by-row matrix multiply.
+			for row := 0; row < 3; row++ {
+				m0, m1, m2 := k.reg(), k.reg(), k.reg()
+				k.b().Load(m0, mB, int64(row*3))
+				k.b().Load(m1, mB, int64(row*3+1))
+				k.b().Load(m2, mB, int64(row*3+2))
+				acc, t := k.reg(), k.reg()
+				k.b().Bin(ir.OpFMul, acc, m0, x)
+				k.b().Bin(ir.OpFMul, t, m1, y)
+				k.b().Bin(ir.OpFAdd, acc, acc, t)
+				k.b().Bin(ir.OpFMul, t, m2, z)
+				k.b().Bin(ir.OpFAdd, acc, acc, t)
+				k.b().Store(oa, int64(row), acc)
+				if row == 0 {
+					// Clip statistics on a rarely-taken guard.
+					clipped := k.reg()
+					k.b().Bin(ir.OpFLt, clipped, limit, acc)
+					k.ifThen("clip", clipped, func() {
+						c := k.reg()
+						k.b().Load(c, stB, 0)
+						k.b().AddI(c, c, 1)
+						k.b().Store(stB, 0, c)
+					})
+				}
+			}
+		})
+		k.finish(ir.NoReg)
+	}
+
+	span := mod.NewFunc("span_fill", 0)
+	{
+		k := newKB(span, "entry")
+		voB, fbB := k.global(vout), k.global(fb)
+		k.loop("spans", 0, nverts, 1, func(i ir.Reg) {
+			base := k.reg()
+			k.b().MulI(base, i, 3)
+			va := k.idx(voB, base)
+			x := k.reg()
+			k.b().Load(x, va, 0)
+			xi := k.reg()
+			k.b().Un(ir.OpFToI, xi, x)
+			k.b().MulI(xi, xi, 37)
+			k.b().AndI(xi, xi, 1023)
+			fa := k.idx(fbB, xi)
+			shade := k.reg()
+			k.b().Load(shade, va, 1)
+			k.b().Store(fa, 0, shade)
+		})
+		k.finish(ir.NoReg)
+	}
+
+	// Depth test: conditionally update the z-buffer per fragment — a
+	// sparse in-place phase whose accepted-write path is the only WAR.
+	depth := mod.NewFunc("depth_test", 0)
+	{
+		k := newKB(depth, "entry")
+		voB, zB := k.global(vout), k.global(zbuf)
+		k.loop("frags", 0, nverts, 1, func(i ir.Reg) {
+			base := k.reg()
+			k.b().MulI(base, i, 3)
+			z := k.reg()
+			k.b().Load(z, k.idx(voB, base), 2)
+			zi := k.reg()
+			k.b().Un(ir.OpFToI, zi, z)
+			k.b().MulI(zi, zi, 131)
+			k.b().AndI(zi, zi, 1023)
+			za := k.idx(zB, zi)
+			old := k.reg()
+			k.b().Load(old, za, 0)
+			nearer := k.reg()
+			k.b().Bin(ir.OpFLt, nearer, old, z)
+			k.ifThen("pass", nearer, func() {
+				k.b().Store(za, 0, z)
+			})
+		})
+		k.finish(ir.NoReg)
+	}
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	r := k.reg()
+	k.loop("frames", 0, 10, 1, func(_ ir.Reg) {
+		k.b().Call(r, xformV)
+		k.b().Call(r, span)
+		k.b().Call(r, depth)
+	})
+	outB := k.global(out)
+	stB := k.global(stats)
+	c := k.reg()
+	k.b().Load(c, stB, 0)
+	k.b().Store(outB, 0, c)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, vout, fb, zbuf}}
+}
+
+// buildArt reproduces the ART neural network's recognition phase: F1→F2
+// bottom-up activation (dot products into a distinct activation array), a
+// winner-take-all scan, and a weight adaptation touching only the winning
+// neuron's row.
+func buildArt() *Artifact {
+	mod := ir.NewModule("179.art")
+	const (
+		nin  = 64
+		nf2  = 32
+		npat = 40
+	)
+	w := mod.NewGlobal("weights", nf2*nin)
+	input := mod.NewGlobal("inputs", npat*nin)
+	act := mod.NewGlobal("activation", nf2)
+	out := mod.NewGlobal("out", 4)
+	fillRandF(w, 83)
+	fillRandF(input, 89)
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	wB, inB, actB := k.global(w), k.global(input), k.global(act)
+	winnersum := k.constInt(0)
+
+	k.loop("patterns", 0, npat, 1, func(p ir.Reg) {
+		pbase := k.reg()
+		k.b().MulI(pbase, p, nin)
+		// Bottom-up activation.
+		k.loop("f2", 0, nf2, 1, func(j ir.Reg) {
+			wbase := k.reg()
+			k.b().MulI(wbase, j, nin)
+			acc := k.reg()
+			k.b().ConstF(acc, 0)
+			k.loop("dot", 0, nin, 1, func(i ir.Reg) {
+				wi, xi := k.reg(), k.reg()
+				wa0 := k.reg()
+				k.b().Add(wa0, wbase, i)
+				wa := k.idx(wB, wa0)
+				k.b().Load(wi, wa, 0)
+				xa0 := k.reg()
+				k.b().Add(xa0, pbase, i)
+				xa := k.idx(inB, xa0)
+				k.b().Load(xi, xa, 0)
+				t := k.reg()
+				k.b().Bin(ir.OpFMul, t, wi, xi)
+				k.b().Bin(ir.OpFAdd, acc, acc, t)
+			})
+			k.coldPatchF("saturate", acc, actB, 0)
+			aa := k.idx(actB, j)
+			k.b().Store(aa, 0, acc)
+		})
+		// Winner-take-all (register-only scan).
+		best, bestj := k.reg(), k.reg()
+		k.b().ConstF(best, -1)
+		k.b().Const(bestj, 0)
+		k.loop("wta", 0, nf2, 1, func(j ir.Reg) {
+			aa := k.idx(actB, j)
+			v := k.reg()
+			k.b().Load(v, aa, 0)
+			gt := k.reg()
+			k.b().Bin(ir.OpFLt, gt, best, v)
+			k.ifThen("newbest", gt, func() {
+				k.b().Mov(best, v)
+				k.b().Mov(bestj, j)
+			})
+		})
+		k.b().Add(winnersum, winnersum, bestj)
+		// Adapt the winner's weights in place (the only WAR, confined to
+		// one row per pattern).
+		wbase := k.reg()
+		k.b().MulI(wbase, bestj, nin)
+		beta := k.reg()
+		k.b().ConstF(beta, 0.0625)
+		k.loop("adapt", 0, nin, 1, func(i ir.Reg) {
+			wa0 := k.reg()
+			k.b().Add(wa0, wbase, i)
+			wa := k.idx(wB, wa0)
+			xa0 := k.reg()
+			k.b().Add(xa0, pbase, i)
+			xa := k.idx(inB, xa0)
+			wv, xv := k.reg(), k.reg()
+			k.b().Load(wv, wa, 0)
+			k.b().Load(xv, xa, 0)
+			d := k.reg()
+			k.b().Bin(ir.OpFSub, d, xv, wv)
+			k.b().Bin(ir.OpFMul, d, d, beta)
+			k.b().Bin(ir.OpFAdd, wv, wv, d)
+			k.b().Store(wa, 0, wv)
+		})
+	})
+	// Vigilance sweep: compare each neuron's activation against a
+	// threshold and count resonances (read-only float compare loop).
+	resonant := k.constInt(0)
+	thr := k.reg()
+	k.b().ConstF(thr, 8.0)
+	k.loop("vigilance", 0, nf2, 1, func(j ir.Reg) {
+		v := k.reg()
+		k.b().Load(v, k.idx(actB, j), 0)
+		over := k.reg()
+		k.b().Bin(ir.OpFLt, over, thr, v)
+		k.b().Add(resonant, resonant, over)
+	})
+	outB := k.global(out)
+	k.b().Store(outB, 0, winnersum)
+	k.b().Store(outB, 1, resonant)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, act}}
+}
+
+// buildEquake reproduces equake's sparse matrix-vector kernel and explicit
+// time integration: SpMV gathers into a freshly zeroed result vector, then
+// the displacement arrays rotate through an in-place update.
+func buildEquake() *Artifact {
+	mod := ir.NewModule("183.equake")
+	const (
+		nnode = 256
+		nnz   = 2048
+	)
+	aval := mod.NewGlobal("A_val", nnz)
+	acol := mod.NewGlobal("A_col", nnz)
+	arow := mod.NewGlobal("A_row", nnz)
+	disp := mod.NewGlobal("disp", nnode)
+	vel := mod.NewGlobal("vel", nnode)
+	force := mod.NewGlobal("force", nnode)
+	out := mod.NewGlobal("out", 4)
+	fillRandF(aval, 97)
+	fillRand(acol, 101, nnode)
+	fillRand(arow, 103, nnode)
+	fillRandF(disp, 107)
+
+	smvp := mod.NewFunc("smvp", 0)
+	{
+		k := newKB(smvp, "entry")
+		avB, acB, arB := k.global(aval), k.global(acol), k.global(arow)
+		dB, fB := k.global(disp), k.global(force)
+		zero := k.reg()
+		k.b().ConstF(zero, 0)
+		k.loop("clear", 0, nnode, 1, func(i ir.Reg) {
+			k.b().Store(k.idx(fB, i), 0, zero)
+		})
+		k.loop("nz", 0, nnz, 1, func(e ir.Reg) {
+			col, row := k.reg(), k.reg()
+			k.b().Load(col, k.idx(acB, e), 0)
+			k.b().Load(row, k.idx(arB, e), 0)
+			av, xv := k.reg(), k.reg()
+			k.b().Load(av, k.idx(avB, e), 0)
+			k.b().Load(xv, k.idx(dB, col), 0)
+			t := k.reg()
+			k.b().Bin(ir.OpFMul, t, av, xv)
+			k.coldPatchF("nanguard", t, acB, 0)
+			fa := k.idx(fB, row)
+			cur := k.reg()
+			k.b().Load(cur, fa, 0) // scatter-accumulate RMW
+			k.b().Bin(ir.OpFAdd, cur, cur, t)
+			k.b().Store(fa, 0, cur)
+		})
+		k.finish(ir.NoReg)
+	}
+
+	step := mod.NewFunc("time_step", 0)
+	{
+		k := newKB(step, "entry")
+		dB, vB, fB := k.global(disp), k.global(vel), k.global(force)
+		dt := k.reg()
+		k.b().ConstF(dt, 0.01)
+		k.loop("nodes", 0, nnode, 1, func(i ir.Reg) {
+			va := k.idx(vB, i)
+			da := k.idx(dB, i)
+			fa := k.idx(fB, i)
+			v, d, fo := k.reg(), k.reg(), k.reg()
+			k.b().Load(v, va, 0)
+			k.b().Load(d, da, 0)
+			k.b().Load(fo, fa, 0)
+			t := k.reg()
+			k.b().Bin(ir.OpFMul, t, fo, dt)
+			k.b().Bin(ir.OpFAdd, v, v, t)
+			k.b().Store(va, 0, v)
+			k.b().Bin(ir.OpFMul, t, v, dt)
+			k.b().Bin(ir.OpFAdd, d, d, t)
+			k.b().Store(da, 0, d)
+		})
+		k.finish(ir.NoReg)
+	}
+
+	// Seismometer readout: sample displacements at fixed stations into a
+	// separate trace buffer each step (pure gather, like the real
+	// benchmark's per-timestep reporting).
+	readings := mod.NewGlobal("readings", 15*8)
+	readout := mod.NewFunc("readout", 1) // (step)
+	{
+		k := newKB(readout, "entry")
+		dB, rB := k.global(disp), k.global(readings)
+		base := k.reg()
+		k.b().MulI(base, ir.Reg(0), 8)
+		k.loop("stations", 0, 8, 1, func(st ir.Reg) {
+			idx2 := k.reg()
+			k.b().MulI(idx2, st, nnode/8)
+			v := k.reg()
+			k.b().Load(v, k.idx(dB, idx2), 0)
+			oa := k.reg()
+			k.b().Add(oa, base, st)
+			k.b().Store(k.idx(rB, oa), 0, v)
+		})
+		k.finish(ir.NoReg)
+	}
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	r := k.reg()
+	k.loop("sim", 0, 15, 1, func(step2 ir.Reg) {
+		k.b().Call(r, smvp)
+		k.b().Call(r, step)
+		k.b().Call(r, readout, step2)
+	})
+	outB := k.global(out)
+	dB := k.global(disp)
+	d0 := k.reg()
+	k.b().Load(d0, dB, 0)
+	k.b().Store(outB, 0, d0)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, disp, vel, readings}}
+}

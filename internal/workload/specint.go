@@ -1,0 +1,761 @@
+package workload
+
+import (
+	"encore/internal/ir"
+)
+
+// SPEC2000 integer kernels. Control-heavy, WAR-rich code: hash-table
+// updates, in-place data-structure mutation, and rarely-taken
+// initialization paths — the structure that makes SPEC2K-INT the hardest
+// suite for Encore in the paper's Figures 5–8.
+
+func init() {
+	register("164.gzip", SpecInt, buildGzip)
+	register("175.vpr", SpecInt, buildVpr)
+	register("181.mcf", SpecInt, buildMcf)
+	register("197.parser", SpecInt, buildParser)
+	register("256.bzip2", SpecInt, buildBzip2)
+	register("300.twolf", SpecInt, buildTwolf)
+}
+
+// buildGzip reproduces gzip's deflate inner loop: hash-chain match finding
+// over a sliding window. The hash-head update (read chain head, then
+// overwrite it) is the canonical WAR hazard on the hot path.
+func buildGzip() *Artifact {
+	mod := ir.NewModule("164.gzip")
+	const (
+		winSize  = 2048
+		hashSize = 256
+		maxChain = 8
+	)
+	in := mod.NewGlobal("window", winSize)
+	head := mod.NewGlobal("hash_head", hashSize)
+	prev := mod.NewGlobal("hash_prev", winSize)
+	out := mod.NewGlobal("out", winSize+8)
+	stats := mod.NewGlobal("gz_stats", 4)
+	fillRand(in, 0xA11CE, 48) // small alphabet: plenty of matches
+
+	crcTab := mod.NewGlobal("crc_table", 256)
+	{
+		// Standard CRC-32 table, computed at module build time.
+		crcTab.Init = make([]int64, 256)
+		for i := 0; i < 256; i++ {
+			c := uint32(i)
+			for j := 0; j < 8; j++ {
+				if c&1 != 0 {
+					c = 0xedb88320 ^ (c >> 1)
+				} else {
+					c >>= 1
+				}
+			}
+			crcTab.Init[i] = int64(c)
+		}
+	}
+
+	// crc32 computes the window checksum gzip appends to every member:
+	// a pure table-driven scan, inherently idempotent.
+	crcFn := mod.NewFunc("crc32", 0)
+	{
+		k := newKB(crcFn, "entry")
+		inB := k.global(in)
+		tB := k.global(crcTab)
+		crc := k.constInt(0xffffffff)
+		k.loop("crc", 0, winSize, 1, func(i ir.Reg) {
+			c := k.reg()
+			k.b().Load(c, k.idx(inB, i), 0)
+			idx2 := k.reg()
+			k.b().Bin(ir.OpXor, idx2, crc, c)
+			k.b().AndI(idx2, idx2, 255)
+			tv := k.reg()
+			k.b().Load(tv, k.idx(tB, idx2), 0)
+			sh := k.reg()
+			k.b().ShrI(sh, crc, 8)
+			k.b().AndI(sh, sh, 0xffffff)
+			k.b().Bin(ir.OpXor, crc, tv, sh)
+		})
+		k.finish(crc)
+	}
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+
+	inB := k.global(in)
+	headB := k.global(head)
+	prevB := k.global(prev)
+	outB := k.global(out)
+	outPos := k.constInt(1)
+
+	k.loop("deflate", 0, winSize-4, 1, func(i ir.Reg) {
+		// h = (in[i]*131 + in[i+1]*31 + in[i+2]) & (hashSize-1)
+		c0, c1, c2 := k.reg(), k.reg(), k.reg()
+		a := k.idx(inB, i)
+		k.b().Load(c0, a, 0).Load(c1, a, 1).Load(c2, a, 2)
+		h, t := k.reg(), k.reg()
+		k.b().MulI(h, c0, 131)
+		k.b().MulI(t, c1, 31)
+		k.b().Add(h, h, t)
+		k.b().Add(h, h, c2)
+		k.b().AndI(h, h, hashSize-1)
+
+		// Chain head read-modify-write: the WAR that costs gzip coverage.
+		ha := k.idx(headB, h)
+		cand := k.reg()
+		k.b().Load(cand, ha, 0)
+		k.b().Store(ha, 0, i)
+		pa := k.idx(prevB, i)
+		k.b().Store(pa, 0, cand)
+
+		// Walk the chain looking for the longest match.
+		bestLen := k.constInt(0)
+		depth := k.reg()
+		k.b().Const(depth, 0)
+		k.loop("chain", 0, maxChain, 1, func(_ ir.Reg) {
+			valid := k.reg()
+			zero := k.constInt(0)
+			k.b().Bin(ir.OpLt, valid, zero, cand)
+			k.ifThen("haveCand", valid, func() {
+				// Compare up to 4 bytes.
+				mlen := k.constInt(0)
+				k.loop("cmp", 0, 4, 1, func(j ir.Reg) {
+					x, y := k.reg(), k.reg()
+					ca := k.idx(inB, cand)
+					ia := k.idx(inB, i)
+					xa, ya := k.reg(), k.reg()
+					k.b().Add(xa, ca, j)
+					k.b().Add(ya, ia, j)
+					k.b().Load(x, xa, 0)
+					k.b().Load(y, ya, 0)
+					eqr := k.reg()
+					k.b().Bin(ir.OpEq, eqr, x, y)
+					k.b().Add(mlen, mlen, eqr)
+				})
+				better := k.reg()
+				k.b().Bin(ir.OpLt, better, bestLen, mlen)
+				k.ifThen("better", better, func() {
+					k.b().Mov(bestLen, mlen)
+				})
+				// Follow the chain.
+				pca := k.idx(prevB, cand)
+				k.b().Load(cand, pca, 0)
+			})
+			k.b().AddI(depth, depth, 1)
+		})
+
+		// Emit literal or (len,dist) token.
+		two := k.constInt(2)
+		isMatch := k.reg()
+		k.b().Bin(ir.OpLt, isMatch, two, bestLen)
+		tok := k.reg()
+		k.ifElse("emit", isMatch, func() {
+			k.b().ShlI(tok, bestLen, 8)
+			k.b().Bin(ir.OpOr, tok, tok, c0)
+		}, func() {
+			k.b().Mov(tok, c0)
+		})
+		oa := k.idx(outB, outPos)
+		k.b().Store(oa, 0, tok)
+		k.b().AddI(outPos, outPos, 1)
+		// Window-overrun guard: dead for any in-bounds input.
+		stB := k.global(stats)
+		k.coldPatch("overrun", tok, stB, 0)
+	})
+
+	// Flush stage: hand tokens to the (opaque) output library — the kind
+	// of I/O call whose alias effects Encore cannot analyze, producing
+	// the Unknown region category of Figure 5.
+	k.loop("flush", 0, winSize-4, 128, func(i ir.Reg) {
+		tok := k.reg()
+		k.b().Load(tok, k.idx(outB, i), 0)
+		sink := k.reg()
+		k.b().CallExtern(sink, "emit", tok)
+	})
+
+	k.b().Store(outB, 0, outPos)
+	crc := k.reg()
+	k.b().Call(crc, crcFn)
+	k.b().Store(outB, 1, crc)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, head}}
+}
+
+// buildVpr reproduces 175.vpr's try_swap — the paper's own Figure-2c
+// example: a hot annealing move evaluator whose idempotence is violated
+// only by first-call allocation blocks and by committed swaps.
+func buildVpr() *Artifact {
+	mod := ir.NewModule("175.vpr")
+	const ncells = 256
+	px := mod.NewGlobal("place_x", ncells)
+	py := mod.NewGlobal("place_y", ncells)
+	netCost := mod.NewGlobal("net_cost", ncells)
+	scratch := mod.NewGlobal("temp_swap", ncells) // "allocated" on first call
+	state := mod.NewGlobal("state", 4)            // [0]=initialized flag, [1]=cost, [2]=accepts, [3]=rng
+	out := mod.NewGlobal("out", 4)
+	fillRand(px, 7, 64)
+	fillRand(py, 11, 64)
+	fillRand(netCost, 13, 100)
+	state.Init = []int64{0, 5000, 0, 12345}
+
+	try := mod.NewFunc("try_swap", 2) // (a, b) cell indices
+	{
+		k := newKB(try, "entry")
+		a, b := ir.Reg(0), ir.Reg(1)
+		stB := k.global(state)
+		inited := k.reg()
+		k.b().Load(inited, stB, 0)
+		zero := k.constInt(0)
+		needInit := k.reg()
+		k.b().Bin(ir.OpEq, needInit, inited, zero)
+		// Figure 2c's shaded blocks: executed only on the first call.
+		k.ifThen("firstcall", needInit, func() {
+			scrB := k.global(scratch)
+			k.loop("alloc", 0, ncells, 1, func(i ir.Reg) {
+				sa := k.idx(scrB, i)
+				k.b().Store(sa, 0, zero)
+			})
+			one := k.constInt(1)
+			k.b().Store(stB, 0, one)
+		})
+
+		pxB, pyB, ncB := k.global(px), k.global(py), k.global(netCost)
+		ax, ay, bx, by := k.reg(), k.reg(), k.reg(), k.reg()
+		pa := k.idx(pxB, a)
+		pb := k.idx(pxB, b)
+		qa := k.idx(pyB, a)
+		qb := k.idx(pyB, b)
+		k.b().Load(ax, pa, 0).Load(bx, pb, 0).Load(ay, qa, 0).Load(by, qb, 0)
+
+		// Delta cost: manhattan displacement weighted by net cost.
+		dx, dy, delta := k.reg(), k.reg(), k.reg()
+		k.b().Sub(dx, ax, bx)
+		k.b().Sub(dy, ay, by)
+		// |dx|+|dy| via conditional negate.
+		isNeg := k.reg()
+		k.b().Bin(ir.OpLt, isNeg, dx, zero)
+		k.ifThen("absx", isNeg, func() { k.b().Un(ir.OpNeg, dx, dx) })
+		k.b().Bin(ir.OpLt, isNeg, dy, zero)
+		k.ifThen("absy", isNeg, func() { k.b().Un(ir.OpNeg, dy, dy) })
+		k.b().Add(delta, dx, dy)
+		ca, cb := k.reg(), k.reg()
+		na := k.idx(ncB, a)
+		nb := k.idx(ncB, b)
+		k.b().Load(ca, na, 0).Load(cb, nb, 0)
+		w := k.reg()
+		k.b().Add(w, ca, cb)
+		k.b().Mul(delta, delta, w)
+		k.b().ShrI(delta, delta, 6)
+
+		// Accept if the move lowers cost (deterministic annealing proxy:
+		// accept when delta < threshold from the LCG state).
+		rng := k.reg()
+		k.b().Load(rng, stB, 3)
+		k.b().MulI(rng, rng, 1103515245)
+		k.b().AddI(rng, rng, 12345)
+		mask := k.constInt((1 << 31) - 1)
+		k.b().Bin(ir.OpAnd, rng, rng, mask)
+		k.b().Store(stB, 3, rng)
+		thr := k.reg()
+		k.b().AndI(thr, rng, 127)
+		accept := k.reg()
+		k.b().Bin(ir.OpLt, accept, delta, thr)
+		ret := k.reg()
+		k.ifElse("commit", accept, func() {
+			// Swap the placements: load-then-store WAR on place_x/place_y.
+			k.b().Store(pa, 0, bx)
+			k.b().Store(pb, 0, ax)
+			k.b().Store(qa, 0, by)
+			k.b().Store(qb, 0, ay)
+			cost, acc := k.reg(), k.reg()
+			k.b().Load(cost, stB, 1)
+			k.b().Add(cost, cost, delta)
+			k.b().Store(stB, 1, cost)
+			k.b().Load(acc, stB, 2)
+			k.b().AddI(acc, acc, 1)
+			k.b().Store(stB, 2, acc)
+			k.b().Const(ret, 1)
+		}, func() {
+			k.b().Const(ret, 0)
+		})
+		k.finish(ret)
+	}
+
+	// check_place: recompute the bounding-box wirelength from scratch —
+	// vpr's verification pass, pure loads plus register accumulation.
+	checkPlace := mod.NewFunc("check_place", 0)
+	{
+		k := newKB(checkPlace, "entry")
+		pxB, pyB, ncB := k.global(px), k.global(py), k.global(netCost)
+		wl := k.constInt(0)
+		k.loop("nets", 0, ncells-1, 1, func(c ir.Reg) {
+			c1 := k.reg()
+			k.b().AddI(c1, c, 1)
+			x0, x1, y0, y1 := k.reg(), k.reg(), k.reg(), k.reg()
+			k.b().Load(x0, k.idx(pxB, c), 0)
+			k.b().Load(x1, k.idx(pxB, c1), 0)
+			k.b().Load(y0, k.idx(pyB, c), 0)
+			k.b().Load(y1, k.idx(pyB, c1), 0)
+			dx, dy := k.reg(), k.reg()
+			k.b().Sub(dx, x1, x0)
+			k.b().Sub(dy, y1, y0)
+			zero := k.constInt(0)
+			neg := k.reg()
+			k.b().Bin(ir.OpLt, neg, dx, zero)
+			k.ifThen("ax", neg, func() { k.b().Un(ir.OpNeg, dx, dx) })
+			k.b().Bin(ir.OpLt, neg, dy, zero)
+			k.ifThen("ay", neg, func() { k.b().Un(ir.OpNeg, dy, dy) })
+			w := k.reg()
+			k.b().Load(w, k.idx(ncB, c), 0)
+			t := k.reg()
+			k.b().Add(t, dx, dy)
+			k.b().Mul(t, t, w)
+			k.b().Add(wl, wl, t)
+		})
+		k.finish(wl)
+	}
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	stB := k.global(state)
+	accepted := k.constInt(0)
+	k.loop("anneal", 0, 900, 1, func(i ir.Reg) {
+		a, b2 := k.reg(), k.reg()
+		k.b().MulI(a, i, 37)
+		k.b().AndI(a, a, ncells-1)
+		k.b().MulI(b2, i, 101)
+		k.b().AddI(b2, b2, 17)
+		k.b().AndI(b2, b2, ncells-1)
+		r := k.reg()
+		k.b().Call(r, try, a, b2)
+		k.b().Add(accepted, accepted, r)
+	})
+	outB := k.global(out)
+	k.b().Store(outB, 0, accepted)
+	cost := k.reg()
+	k.b().Load(cost, stB, 1)
+	k.b().Store(outB, 1, cost)
+	wl := k.reg()
+	k.b().Call(wl, checkPlace)
+	k.b().Store(outB, 2, wl)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, px, py}}
+}
+
+// buildMcf reproduces 181.mcf's network-simplex pricing loop: scan arcs
+// for negative reduced cost and pivot (updating flows and potentials in
+// place) on the rare hits.
+func buildMcf() *Artifact {
+	mod := ir.NewModule("181.mcf")
+	const (
+		nnodes = 128
+		narcs  = 1024
+	)
+	arcFrom := mod.NewGlobal("arc_from", narcs)
+	arcTo := mod.NewGlobal("arc_to", narcs)
+	arcCost := mod.NewGlobal("arc_cost", narcs)
+	flow := mod.NewGlobal("flow", narcs)
+	pi := mod.NewGlobal("potential", nnodes)
+	out := mod.NewGlobal("out", 4)
+	fillRand(arcFrom, 3, nnodes)
+	fillRand(arcTo, 5, nnodes)
+	fillRand(arcCost, 9, 200)
+	fillRand(pi, 17, 100)
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	fromB, toB := k.global(arcFrom), k.global(arcTo)
+	costB, flowB, piB := k.global(arcCost), k.global(flow), k.global(pi)
+	pivots := k.constInt(0)
+
+	k.loop("iter", 0, 12, 1, func(_ ir.Reg) {
+		k.loop("price", 0, narcs, 1, func(a ir.Reg) {
+			fa := k.idx(fromB, a)
+			ta := k.idx(toB, a)
+			ca := k.idx(costB, a)
+			u, v, c := k.reg(), k.reg(), k.reg()
+			k.b().Load(u, fa, 0).Load(v, ta, 0).Load(c, ca, 0)
+			pu, pv := k.reg(), k.reg()
+			pua := k.idx(piB, u)
+			pva := k.idx(piB, v)
+			k.b().Load(pu, pua, 0).Load(pv, pva, 0)
+			red := k.reg()
+			k.b().Add(red, c, pu)
+			k.b().Sub(red, red, pv)
+			// Degeneracy perturbation and fixed-point scaling, as the real
+			// pricing loop does before comparing.
+			scaled := k.reg()
+			k.b().MulI(scaled, red, 173)
+			k.b().ShrI(scaled, scaled, 5)
+			bias := k.reg()
+			k.b().AndI(bias, a, 7)
+			k.b().Add(scaled, scaled, bias)
+			k.b().Sub(scaled, scaled, bias)
+			k.b().Mul(scaled, scaled, scaled)
+			k.coldPatch("overflow", scaled, piB, 0)
+			zero := k.constInt(0)
+			neg := k.reg()
+			k.b().Bin(ir.OpLt, neg, red, zero)
+			// Pivot: in-place flow and potential updates (WAR hazards),
+			// taken only for the few mispriced arcs.
+			k.ifThen("pivot", neg, func() {
+				fl := k.reg()
+				fla := k.idx(flowB, a)
+				k.b().Load(fl, fla, 0)
+				k.b().AddI(fl, fl, 1)
+				k.b().Store(fla, 0, fl)
+				k.b().Sub(pu, pu, red)
+				k.b().Store(pua, 0, pu)
+				k.b().AddI(pivots, pivots, 1)
+			})
+		})
+	})
+	// Solution audit: total cost of the flow assignment — a pure
+	// reduction, the phase real mcf runs before printing its answer.
+	totalCost := k.constInt(0)
+	k.loop("audit", 0, narcs, 1, func(a ir.Reg) {
+		fl, c := k.reg(), k.reg()
+		k.b().Load(fl, k.idx(flowB, a), 0)
+		k.b().Load(c, k.idx(costB, a), 0)
+		t := k.reg()
+		k.b().Mul(t, fl, c)
+		k.b().Add(totalCost, totalCost, t)
+	})
+	outB := k.global(out)
+	k.b().Store(outB, 0, pivots)
+	k.b().Store(outB, 1, totalCost)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, flow, pi}}
+}
+
+// buildParser reproduces 197.parser's dictionary machinery: hash lookups
+// on the hot path, chained insertion (pool append + head rewrite) on
+// misses.
+func buildParser() *Artifact {
+	mod := ir.NewModule("197.parser")
+	const (
+		tabSize = 256
+		poolCap = 2048
+		nwords  = 3000
+	)
+	table := mod.NewGlobal("hash_table", tabSize) // head index+1, 0 = empty
+	poolKey := mod.NewGlobal("pool_key", poolCap)
+	poolNext := mod.NewGlobal("pool_next", poolCap)
+	meta := mod.NewGlobal("meta", 2) // [0] = pool size
+	words := mod.NewGlobal("words", nwords)
+	out := mod.NewGlobal("out", 4)
+	fillRand(words, 23, 700) // vocabulary of ~700 distinct words
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	tB, pkB, pnB := k.global(table), k.global(poolKey), k.global(poolNext)
+	mB, wB := k.global(meta), k.global(words)
+	hits := k.constInt(0)
+
+	k.loop("scan", 0, nwords, 1, func(i ir.Reg) {
+		wa := k.idx(wB, i)
+		w := k.reg()
+		k.b().Load(w, wa, 0)
+		h := k.reg()
+		k.b().MulI(h, w, 2654435761)
+		k.b().ShrI(h, h, 8)
+		k.b().AndI(h, h, tabSize-1)
+
+		ha := k.idx(tB, h)
+		cur := k.reg()
+		k.b().Load(cur, ha, 0)
+		found := k.constInt(0)
+		// Chase the chain (bounded).
+		k.loop("chase", 0, 6, 1, func(_ ir.Reg) {
+			zero := k.constInt(0)
+			nz := k.reg()
+			k.b().Bin(ir.OpLt, nz, zero, cur)
+			k.ifThen("live", nz, func() {
+				ki := k.reg()
+				k.b().AddI(ki, cur, -1)
+				ka := k.idx(pkB, ki)
+				key := k.reg()
+				k.b().Load(key, ka, 0)
+				match := k.reg()
+				k.b().Bin(ir.OpEq, match, key, w)
+				k.ifThen("hit", match, func() {
+					k.b().Const(found, 1)
+				})
+				na := k.idx(pnB, ki)
+				k.b().Load(cur, na, 0)
+				// Chain-corruption repair: dead for well-formed pools.
+				k.coldPatch("repair", cur, mB, 1)
+			})
+		})
+		k.ifElse("resolve", found, func() {
+			k.b().AddI(hits, hits, 1)
+		}, func() {
+			// Insert: pool append plus chain-head rewrite — the WAR path,
+			// executed once per new word only.
+			sz := k.reg()
+			k.b().Load(sz, mB, 0)
+			cap2 := k.constInt(poolCap)
+			room := k.reg()
+			k.b().Bin(ir.OpLt, room, sz, cap2)
+			k.ifThen("insert", room, func() {
+				ka := k.idx(pkB, sz)
+				k.b().Store(ka, 0, w)
+				old := k.reg()
+				k.b().Load(old, ha, 0)
+				na := k.idx(pnB, sz)
+				k.b().Store(na, 0, old)
+				id1 := k.reg()
+				k.b().AddI(id1, sz, 1)
+				k.b().Store(ha, 0, id1)
+				k.b().AddI(sz, sz, 1)
+				k.b().Store(mB, 0, sz)
+			})
+		})
+	})
+	// Linkage scoring: walk every chain once, accumulating a structure
+	// score in registers (the read-only second phase of the real parser).
+	score := k.constInt(0)
+	k.loop("link", 0, tabSize, 1, func(h ir.Reg) {
+		cur := k.reg()
+		k.b().Load(cur, k.idx(tB, h), 0)
+		k.loop("walk", 0, 6, 1, func(_ ir.Reg) {
+			zero := k.constInt(0)
+			nz := k.reg()
+			k.b().Bin(ir.OpLt, nz, zero, cur)
+			k.ifThen("node", nz, func() {
+				ki := k.reg()
+				k.b().AddI(ki, cur, -1)
+				key := k.reg()
+				k.b().Load(key, k.idx(pkB, ki), 0)
+				k.b().Add(score, score, key)
+				k.b().Load(cur, k.idx(pnB, ki), 0)
+			})
+		})
+	})
+	outB := k.global(out)
+	k.b().Store(outB, 0, hits)
+	sz := k.reg()
+	k.b().Load(sz, mB, 0)
+	k.b().Store(outB, 1, sz)
+	k.b().Store(outB, 2, score)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, table}}
+}
+
+// buildBzip2 reproduces bzip2's block-sort front end: counting sort over
+// symbol frequencies followed by a move-to-front transform, both dominated
+// by in-place array mutation.
+func buildBzip2() *Artifact {
+	mod := ir.NewModule("256.bzip2")
+	const (
+		blockSize = 2048
+		alpha     = 64
+	)
+	block := mod.NewGlobal("block", blockSize)
+	counts := mod.NewGlobal("counts", alpha)
+	mtf := mod.NewGlobal("mtf_order", alpha)
+	out := mod.NewGlobal("out", blockSize+4)
+	fillRand(block, 31, alpha)
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	blkB, cntB, mtfB, outB := k.global(block), k.global(counts), k.global(mtf), k.global(out)
+	zero := k.constInt(0)
+
+	// Zero the counters, then histogram (classic RMW hot loop).
+	k.loop("zero", 0, alpha, 1, func(i ir.Reg) {
+		ca := k.idx(cntB, i)
+		k.b().Store(ca, 0, zero)
+	})
+	k.loop("hist", 0, blockSize, 1, func(i ir.Reg) {
+		ba := k.idx(blkB, i)
+		c := k.reg()
+		k.b().Load(c, ba, 0)
+		ca := k.idx(cntB, c)
+		n := k.reg()
+		k.b().Load(n, ca, 0)
+		k.b().AddI(n, n, 1)
+		k.b().Store(ca, 0, n)
+		// Block-size overflow repair: dead for legal blocks.
+		k.coldPatch("overflow", n, outB, 1)
+	})
+	// Initialize the MTF order table.
+	k.loop("mtfinit", 0, alpha, 1, func(i ir.Reg) {
+		ma := k.idx(mtfB, i)
+		k.b().Store(ma, 0, i)
+	})
+	// Move-to-front transform: search, shift (in-place WARs), emit rank.
+	k.loop("mtf", 0, blockSize, 1, func(i ir.Reg) {
+		ba := k.idx(blkB, i)
+		c := k.reg()
+		k.b().Load(c, ba, 0)
+		rank := k.constInt(0)
+		k.loop("find", 0, alpha, 1, func(j ir.Reg) {
+			ma := k.idx(mtfB, j)
+			v := k.reg()
+			k.b().Load(v, ma, 0)
+			eqr, lt := k.reg(), k.reg()
+			k.b().Bin(ir.OpEq, eqr, v, c)
+			k.b().Bin(ir.OpEq, lt, rank, zero) // rank unset so far?
+			hit := k.reg()
+			k.b().Bin(ir.OpAnd, hit, eqr, lt)
+			k.ifThen("found", hit, func() {
+				r1 := k.reg()
+				k.b().AddI(r1, j, 1)
+				k.b().Mov(rank, r1)
+			})
+		})
+		k.b().AddI(rank, rank, -1)
+		// Shift order[0..rank) up by one, put c at front.
+		j := k.reg()
+		k.b().Mov(j, rank)
+		head := k.f.NewBlock("shift.head")
+		body := k.f.NewBlock("shift.body")
+		exit := k.f.NewBlock("shift.exit")
+		k.b().Jmp(head)
+		pos := k.reg()
+		head.Bin(ir.OpLt, pos, zero, j)
+		head.Br(pos, body, exit)
+		k.cur = body
+		jm1 := k.reg()
+		k.b().AddI(jm1, j, -1)
+		src := k.idx(mtfB, jm1)
+		dst := k.idx(mtfB, j)
+		v := k.reg()
+		k.b().Load(v, src, 0)
+		k.b().Store(dst, 0, v)
+		k.b().AddI(j, j, -1)
+		k.b().Jmp(head)
+		k.cur = exit
+		k.b().Store(mtfB, 0, c)
+		oa := k.idx(outB, i)
+		k.b().Store(oa, 0, rank)
+	})
+	// Final pass: run-length compress the MTF ranks into the tail of the
+	// output buffer and fold a block checksum (the bzip2 "combined CRC").
+	runs := k.constInt(0)
+	crc := k.constInt(0)
+	prev := k.constInt(-1)
+	k.loop("rle", 0, blockSize, 1, func(i ir.Reg) {
+		v := k.reg()
+		k.b().Load(v, k.idx(outB, i), 0)
+		same := k.reg()
+		k.b().Bin(ir.OpEq, same, v, prev)
+		k.ifElse("run", same, func() {
+			k.b().AddI(runs, runs, 1)
+		}, func() {
+			k.b().Mov(prev, v)
+		})
+		k.b().MulI(crc, crc, 31)
+		k.b().Add(crc, crc, v)
+		k.b().AndI(crc, crc, (1<<31)-1)
+	})
+	k.b().Store(outB, blockSize, runs)
+	k.b().Store(outB, blockSize+1, crc)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, counts}}
+}
+
+// buildTwolf reproduces 300.twolf's cell-swap loop: occupancy-grid reads
+// to score a move, in-place grid rewrites on accepted swaps.
+func buildTwolf() *Artifact {
+	mod := ir.NewModule("300.twolf")
+	const (
+		gridW  = 32
+		ncells = 160
+	)
+	grid := mod.NewGlobal("grid", gridW*gridW)
+	cellPos := mod.NewGlobal("cell_pos", ncells)
+	wire := mod.NewGlobal("wire_len", ncells)
+	out := mod.NewGlobal("out", 4)
+	fillRand(cellPos, 41, gridW*gridW)
+	fillRand(wire, 43, 50)
+	grid.Init = make([]int64, grid.Size)
+	{
+		r := splitmix64(47)
+		for i := range grid.Init {
+			grid.Init[i] = r.intn(3)
+		}
+	}
+
+	f := mod.NewFunc("main", 0)
+	k := newKB(f, "entry")
+	gB, cB, wB := k.global(grid), k.global(cellPos), k.global(wire)
+	swaps := k.constInt(0)
+
+	k.loop("pass", 0, 6, 1, func(_ ir.Reg) {
+		k.loop("cells", 0, ncells, 1, func(c ir.Reg) {
+			ca := k.idx(cB, c)
+			pos := k.reg()
+			k.b().Load(pos, ca, 0)
+			// Candidate position: pseudo-random walk.
+			cand := k.reg()
+			k.b().MulI(cand, c, 73)
+			k.b().Add(cand, cand, pos)
+			k.b().AndI(cand, cand, gridW*gridW-1)
+
+			// Score both neighborhoods (reads only).
+			score := k.constInt(0)
+			k.loop("nbr", 0, 4, 1, func(d ir.Reg) {
+				off := k.reg()
+				k.b().MulI(off, d, 7)
+				p1, p2 := k.reg(), k.reg()
+				k.b().Add(p1, pos, off)
+				k.b().AndI(p1, p1, gridW*gridW-1)
+				k.b().Add(p2, cand, off)
+				k.b().AndI(p2, p2, gridW*gridW-1)
+				g1a := k.idx(gB, p1)
+				g2a := k.idx(gB, p2)
+				o1, o2 := k.reg(), k.reg()
+				k.b().Load(o1, g1a, 0)
+				k.b().Load(o2, g2a, 0)
+				k.b().Add(score, score, o1)
+				k.b().Sub(score, score, o2)
+			})
+			wa := k.idx(wB, c)
+			wl := k.reg()
+			k.b().Load(wl, wa, 0)
+			k.b().Add(score, score, wl)
+			thr := k.constInt(38)
+			good := k.reg()
+			k.b().Bin(ir.OpLt, good, thr, score)
+			k.coldPatch("gridfault", score, gB, 0)
+			// Commit: grid occupancy rewrite (WAR) on good moves only.
+			k.ifThen("commit", good, func() {
+				ga := k.idx(gB, pos)
+				gc := k.idx(gB, cand)
+				occ := k.reg()
+				k.b().Load(occ, ga, 0)
+				k.b().AddI(occ, occ, -1)
+				k.b().Store(ga, 0, occ)
+				occ2 := k.reg()
+				k.b().Load(occ2, gc, 0)
+				k.b().AddI(occ2, occ2, 1)
+				k.b().Store(gc, 0, occ2)
+				k.b().Store(ca, 0, cand)
+				k.b().AddI(swaps, swaps, 1)
+			})
+		})
+	})
+	// Density audit: histogram occupancy into four buckets held in
+	// registers (read-only sweep over the grid).
+	b0, b1, b2p := k.constInt(0), k.constInt(0), k.constInt(0)
+	k.loop("audit", 0, gridW*gridW, 1, func(p ir.Reg) {
+		occ := k.reg()
+		k.b().Load(occ, k.idx(gB, p), 0)
+		zero := k.constInt(0)
+		one := k.constInt(1)
+		isz, iso := k.reg(), k.reg()
+		k.b().Bin(ir.OpEq, isz, occ, zero)
+		k.b().Bin(ir.OpEq, iso, occ, one)
+		k.b().Add(b0, b0, isz)
+		k.b().Add(b1, b1, iso)
+		more := k.reg()
+		k.b().Bin(ir.OpLt, more, one, occ)
+		k.b().Add(b2p, b2p, more)
+	})
+	outB := k.global(out)
+	k.b().Store(outB, 0, swaps)
+	k.b().Store(outB, 1, b0)
+	k.b().Store(outB, 2, b1)
+	k.b().Store(outB, 3, b2p)
+	k.finish(ir.NoReg)
+	return &Artifact{Mod: mod, Outputs: []*ir.Global{out, grid, cellPos}}
+}

@@ -1,0 +1,53 @@
+package xform
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+	"encore/internal/workload"
+)
+
+// TestSignaturePassPreservesOutput: the path-signature instrumentation
+// adds three instructions per executed block but never changes program
+// results.
+func TestSignaturePassPreservesOutput(t *testing.T) {
+	for _, name := range []string{"175.vpr", "rawdaudio"} {
+		sp, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := sp.Build()
+		m1 := interp.New(base.Mod, interp.Config{})
+		if _, err := m1.Run(); err != nil {
+			t.Fatal(err)
+		}
+		golden := m1.Checksum(base.Outputs...)
+
+		art := sp.Build()
+		added := InstrumentPathSignature(art.Mod)
+		if added == 0 {
+			t.Fatal("no instrumentation added")
+		}
+		for _, f := range art.Mod.Funcs {
+			f.Recompute()
+		}
+		if err := art.Mod.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		m2 := interp.New(art.Mod, interp.Config{})
+		if _, err := m2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := m2.Checksum(art.Outputs...); got != golden {
+			t.Errorf("%s: signature pass changed output", name)
+		}
+		if m2.Count <= m1.Count {
+			t.Errorf("%s: signature pass added no dynamic cost", name)
+		}
+		// The signature cell must hold a non-zero path hash at exit.
+		sig := art.Mod.Globals[len(art.Mod.Globals)-1]
+		if m2.Mem[sig.Addr] == 0 {
+			t.Errorf("%s: signature never updated", name)
+		}
+	}
+}

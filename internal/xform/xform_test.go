@@ -1,0 +1,157 @@
+package xform
+
+import (
+	"testing"
+
+	"encore/internal/alias"
+	"encore/internal/idem"
+	"encore/internal/interp"
+	"encore/internal/ir"
+	"encore/internal/profile"
+	"encore/internal/region"
+	"encore/internal/workload"
+)
+
+func instrumentWorkload(t *testing.T, name string) (*workload.Artifact, []interp.RegionMeta, *Stats, []*region.Region, uint64) {
+	t.Helper()
+	sp, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Golden checksum from an untouched build.
+	base := sp.Build()
+	gm := interp.New(base.Mod, interp.Config{})
+	if _, err := gm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	golden := gm.Checksum(base.Outputs...)
+
+	art := sp.Build()
+	prof, err := profile.Collect(art.Mod, interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := alias.AnalyzeModule(art.Mod)
+	var regions []*region.Region
+	for _, f := range art.Mod.Funcs {
+		env := idem.NewEnv(f, mi, alias.Static).WithProfile(prof.Freq, 0.0)
+		fin, _ := region.Form(f, env, prof, region.FormConfig{Eta: 0.5})
+		regions = append(regions, fin...)
+	}
+	for i, r := range regions {
+		r.ID = i
+	}
+	region.Select(regions, prof, region.SelectConfig{Budget: 0.25})
+	metas, stats, err := Instrument(art.Mod, regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art, metas, stats, regions, golden
+}
+
+// TestInstrumentedModuleValid: the rewritten module passes verification
+// (Instrument verifies internally; double-check and inspect structure).
+func TestInstrumentedModuleValid(t *testing.T) {
+	art, metas, stats, regions, _ := instrumentWorkload(t, "175.vpr")
+	if err := art.Mod.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	selected := 0
+	for _, r := range regions {
+		if r.Selected {
+			selected++
+		}
+	}
+	if len(metas) != selected {
+		t.Errorf("%d metas for %d selected regions", len(metas), selected)
+	}
+	for _, meta := range metas {
+		if meta.Recovery == nil || meta.Header == nil {
+			t.Fatalf("incomplete meta %+v", meta)
+		}
+		// Recovery block: OpRestore then a jump to the header.
+		if len(meta.Recovery.Instrs) != 1 || meta.Recovery.Instrs[0].Op != ir.OpRestore {
+			t.Errorf("region %d recovery block malformed", meta.ID)
+		}
+		if meta.Recovery.Term.Op != ir.TermJmp || meta.Recovery.Term.Targets[0] != meta.Header {
+			t.Errorf("region %d recovery must jump to the header", meta.ID)
+		}
+		// Header prologue: SetRecovery first, then the register ckpts.
+		if meta.Header.Instrs[0].Op != ir.OpSetRecovery || meta.Header.Instrs[0].Imm != int64(meta.ID) {
+			t.Errorf("region %d header missing SetRecovery prologue", meta.ID)
+		}
+	}
+	if stats.TotalMemCkpts() == 0 {
+		t.Error("vpr has WAR hazards; expected memory checkpoints")
+	}
+}
+
+// TestInstrumentationPreservesSemantics: the instrumented binary computes
+// exactly what the original did.
+func TestInstrumentationPreservesSemantics(t *testing.T) {
+	for _, name := range []string{"164.gzip", "175.vpr", "183.equake", "g721decode", "cjpeg"} {
+		art, metas, _, _, golden := instrumentWorkload(t, name)
+		m := interp.New(art.Mod, interp.Config{})
+		m.SetRuntime(metas)
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := m.Checksum(art.Outputs...); got != golden {
+			t.Errorf("%s: instrumented output %x != golden %x", name, got, golden)
+		}
+	}
+}
+
+// TestCkptCountsMatchCP: every selected region's checkpoint sites match
+// its analysis CP set.
+func TestCkptCountsMatchCP(t *testing.T) {
+	_, _, stats, regions, _ := instrumentWorkload(t, "181.mcf")
+	byID := map[int]*region.Region{}
+	for _, r := range regions {
+		byID[r.ID] = r
+	}
+	for _, st := range stats.Regions {
+		r := byID[st.RegionID]
+		if st.Unplaced != 0 {
+			t.Errorf("region %d: %d unplaced checkpoints", st.RegionID, st.Unplaced)
+		}
+		if st.MemCkpts != len(r.Analysis.CP) {
+			t.Errorf("region %d: %d ckpts for %d CP stores", st.RegionID, st.MemCkpts, len(r.Analysis.CP))
+		}
+		if st.RegCkpts != len(r.RegCkpts) {
+			t.Errorf("region %d: %d reg ckpts for %d live-ins", st.RegionID, st.RegCkpts, len(r.RegCkpts))
+		}
+	}
+}
+
+// TestEveryCkptPrecedesItsStore: each OpCkptMem for a direct store sits
+// immediately before a store with the same address operand.
+func TestEveryCkptPrecedesItsStore(t *testing.T) {
+	art, _, _, _, _ := instrumentWorkload(t, "256.bzip2")
+	for _, f := range art.Mod.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				if in.Op != ir.OpCkptMem {
+					continue
+				}
+				// Find the next non-ckpt instruction; it must be a store
+				// (direct CP) or the checkpoint used a scratch address
+				// (preceded by an address materialization).
+				if i+1 < len(b.Instrs) {
+					next := &b.Instrs[i+1]
+					if next.Op == ir.OpStore && next.A == in.A && next.Imm == in.Imm2 {
+						continue // canonical direct-store checkpoint
+					}
+				}
+				if i > 0 {
+					prev := &b.Instrs[i-1]
+					if (prev.Op == ir.OpGlobal || prev.Op == ir.OpFrame || prev.Op == ir.OpConst) && prev.Dst == in.A {
+						continue // call-store checkpoint with materialized address
+					}
+				}
+				t.Errorf("orphan OpCkptMem at %s/%s[%d]", f.Name, b, i)
+			}
+		}
+	}
+}
