@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full health gate: gofmt, vet, build, tests, and the race detector over
+# the concurrent packages. See scripts/check.sh.
+check:
+	sh scripts/check.sh

@@ -330,3 +330,88 @@ func BenchmarkInterpreter(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
+
+// BenchmarkInterpDispatch compares the pre-decoded fast dispatch loop
+// against the per-instruction reference loop on the same workload, plain
+// and with profiling enabled. Profiling is where the engines diverge
+// most: the fast loop bumps dense []int64 counters at block retire while
+// the reference loop updates map[*ir.Block] entries per block.
+func BenchmarkInterpDispatch(b *testing.B) {
+	sp, err := workload.ByName("256.bzip2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := sp.Build()
+	for _, mode := range []struct {
+		name string
+		cfg  interp.Config
+	}{
+		{"fast", interp.Config{}},
+		{"reference", interp.Config{Reference: true}},
+		{"fast-profiled", interp.Config{Profile: true}},
+		{"reference-profiled", interp.Config{Profile: true, Reference: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := interp.New(art.Mod, mode.cfg)
+			var instrs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				instrs += m.Count
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
+	}
+}
+
+// BenchmarkSFITrialThroughput measures fault-injection throughput in
+// trials per second — each trial is a golden-checked full run with one
+// injected fault. This is the quantity Figure 8's Monte Carlo and the
+// end-to-end SFI campaigns pay for.
+func BenchmarkSFITrialThroughput(b *testing.B) {
+	sp, err := workload.ByName("175.vpr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := sp.Build()
+	res, err := core.Compile(art.Mod, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
+			Trials: trials, Seed: uint64(i + 1), Dmax: 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// BenchmarkResetDirtyRange measures Machine.Reset on a deliberately
+// oversized memory image. The dirty-range watermark makes reset cost
+// proportional to the words the previous run actually touched, not to
+// MemWords; the words/reset metric reports that footprint.
+func BenchmarkResetDirtyRange(b *testing.B) {
+	sp, err := workload.ByName("rawcaudio")
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := sp.Build()
+	m := interp.New(art.Mod, interp.Config{MemWords: 1 << 24})
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var words int64
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		words += m.LastResetWords()
+	}
+	b.ReportMetric(float64(words)/float64(b.N), "words/reset")
+}

@@ -3,27 +3,51 @@
 // Usage:
 //
 //	encore-bench [-exp fig1|table1|fig5|fig6|fig7a|fig7b|fig8|all]
-//	             [-apps a,b,c] [-quick] [-table1-app name]
+//	             [-apps a,b,c] [-quick] [-table1-app name] [-json file]
 //
 // Each experiment prints the same rows/series as the corresponding paper
 // exhibit; see EXPERIMENTS.md for the paper-vs-measured comparison.
+// With -json, a machine-readable report — per-experiment wall-clock plus
+// the full result dataset — is additionally written to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"encore/internal/experiments"
 )
 
+// renderable is what every experiment result implements.
+type renderable interface{ Render(w io.Writer) }
+
+// expReport is one experiment's entry in the -json report.
+type expReport struct {
+	Name   string  `json:"name"`
+	WallMS float64 `json:"wall_ms"`
+	Result any     `json:"result"`
+}
+
+// report is the top-level -json document.
+type report struct {
+	Quick       bool        `json:"quick"`
+	Apps        []string    `json:"apps,omitempty"`
+	TotalWallMS float64     `json:"total_wall_ms"`
+	Experiments []expReport `json:"experiments"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, all")
-		apps  = flag.String("apps", "", "comma-separated benchmark subset")
-		quick = flag.Bool("quick", false, "reduced Monte-Carlo trials")
-		t1app = flag.String("table1-app", "175.vpr", "workload for the Table 1 comparison")
+		exp      = flag.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, all")
+		apps     = flag.String("apps", "", "comma-separated benchmark subset")
+		quick    = flag.Bool("quick", false, "reduced Monte-Carlo trials")
+		t1app    = flag.String("table1-app", "175.vpr", "workload for the Table 1 comparison")
+		jsonPath = flag.String("json", "", "write a JSON report (wall-clock + results) to this file")
 	)
 	flag.Parse()
 
@@ -32,85 +56,34 @@ func main() {
 		h.Apps = strings.Split(*apps, ",")
 	}
 
-	run := func(name string) error {
+	run := func(name string) (renderable, error) {
 		switch name {
 		case "fig1":
-			r, err := h.Fig1()
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.Fig1()
 		case "table1":
-			r, err := h.Table1(*t1app)
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.Table1(*t1app)
 		case "fig5":
-			r, err := h.Fig5()
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.Fig5()
 		case "fig6":
-			r, err := h.Fig6()
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.Fig6()
 		case "fig7a":
-			r, err := h.Fig7a()
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.Fig7a()
 		case "fig7b":
-			r, err := h.Fig7b()
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.Fig7b()
 		case "fig8":
-			r, err := h.Fig8()
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.Fig8()
 		case "abl-eta":
-			r, err := h.AblationEta(nil)
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.AblationEta(nil)
 		case "abl-budget":
-			r, err := h.AblationBudget(nil)
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.AblationBudget(nil)
 		case "abl-signature":
-			r, err := h.AblationSignature()
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.AblationSignature()
 		case "abl-input":
-			r, err := h.AblationInputShift(7)
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
+			return h.AblationInputShift(7)
 		case "abl-detector":
-			r, err := h.AblationDetector(100)
-			if err != nil {
-				return err
-			}
-			r.Render(os.Stdout)
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			return h.AblationDetector(100)
 		}
-		fmt.Println()
-		return nil
+		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
 
 	names := []string{*exp}
@@ -118,9 +91,33 @@ func main() {
 		names = []string{"fig1", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig8",
 			"abl-eta", "abl-budget", "abl-signature", "abl-detector", "abl-input"}
 	}
+	rep := report{Quick: *quick, Apps: h.Apps}
+	total := time.Now()
 	for _, n := range names {
-		if err := run(n); err != nil {
+		start := time.Now()
+		r, err := run(n)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "encore-bench:", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		r.Render(os.Stdout)
+		fmt.Printf("[%s: %.0f ms]\n\n", n, float64(wall.Microseconds())/1000)
+		rep.Experiments = append(rep.Experiments, expReport{
+			Name: n, WallMS: float64(wall.Microseconds()) / 1000, Result: r,
+		})
+	}
+	rep.TotalWallMS = float64(time.Since(total).Microseconds()) / 1000
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "encore-bench: json:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "encore-bench: json:", err)
 			os.Exit(1)
 		}
 	}

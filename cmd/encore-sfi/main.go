@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking]
+//	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking] [-workers n]
 package main
 
 import (
@@ -28,6 +28,7 @@ func main() {
 		dmax    = flag.Int64("dmax", 100, "maximum detection latency (instructions)")
 		seed    = flag.Uint64("seed", 1, "PRNG seed")
 		masking = flag.Bool("masking", false, "also run the raw-strike masking study")
+		workers = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 			os.Exit(1)
 		}
 		camp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
-			Trials: *trials, Seed: *seed, Dmax: *dmax,
+			Trials: *trials, Seed: *seed, Dmax: *dmax, Workers: *workers,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "encore-sfi: %s: %v\n", sp.Name, err)
@@ -63,7 +64,7 @@ func main() {
 			mres, err := sfi.MeasureMasking(func() (*ir.Module, []*ir.Global) {
 				a := sp.Build()
 				return a.Mod, a.Outputs
-			}, sfi.MaskingConfig{Trials: *trials, Seed: *seed})
+			}, sfi.MaskingConfig{Trials: *trials, Seed: *seed, Workers: *workers})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "encore-sfi: %s: %v\n", sp.Name, err)
 				os.Exit(1)

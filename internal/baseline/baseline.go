@@ -148,6 +148,7 @@ type SchemeReport struct {
 func MeasureEnterprise(mod *ir.Module, interval int64) (*SchemeReport, error) {
 	c := NewFullCheckpointer(interval)
 	m := interp.New(mod, interp.Config{Hook: c})
+	defer m.Release()
 	if _, err := m.Run(); err != nil {
 		return nil, err
 	}
@@ -167,6 +168,7 @@ func MeasureEnterprise(mod *ir.Module, interval int64) (*SchemeReport, error) {
 func MeasureArchitectural(mod *ir.Module, interval int64) (*SchemeReport, error) {
 	l := NewUndoLog(interval)
 	m := interp.New(mod, interp.Config{Hook: l})
+	defer m.Release()
 	if _, err := m.Run(); err != nil {
 		return nil, err
 	}

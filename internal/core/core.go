@@ -51,6 +51,13 @@ type Config struct {
 
 	// Interp configures the profiling and measurement runs.
 	Interp interp.Config
+
+	// Profile supplies a pre-collected baseline execution profile for the
+	// module, skipping Compile's own profiling run. The caller must
+	// guarantee it was collected on an identical build (same structure
+	// after the Optimize passes). Ignored in Profiled alias mode, which
+	// needs its own address-observation run regardless.
+	Profile *profile.Data
 }
 
 // DefaultConfig returns the paper's headline configuration: Pmin = 0.0,
@@ -95,9 +102,12 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	var prof *profile.Data
 	var addrs profile.AddrProfile
 	var err error
-	if cfg.AliasMode == alias.Profiled {
+	switch {
+	case cfg.AliasMode == alias.Profiled:
 		prof, addrs, err = profile.CollectWithAddresses(mod, cfg.Interp)
-	} else {
+	case cfg.Profile != nil:
+		prof = cfg.Profile
+	default:
 		prof, err = profile.Collect(mod, cfg.Interp)
 	}
 	if err != nil {
@@ -148,6 +158,7 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 
 	// Measurement run on the instrumented module.
 	m := interp.New(mod, cfg.Interp)
+	defer m.Release()
 	m.SetRuntime(metas)
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("core: instrumented run: %w", err)

@@ -26,14 +26,25 @@ type conflictObserver struct {
 	owner     map[*ir.Block]*region.Region
 	violators map[alias.InstrPos]bool
 
+	// One-entry owner-lookup cache: OnInstr fires for every instruction,
+	// and consecutive firings almost always share a block.
+	lastB *ir.Block
+	lastR *region.Region
+
 	stack []instanceState
+	free  []instanceState // retired instances whose address sets get reused
 }
 
+// instanceState holds one region instance's address sets. The sets are
+// epoch-stamped: an address is a member iff its stamp equals the current
+// epoch, so recycling a retired instance (freshInstance) only bumps the
+// epoch instead of clearing the maps.
 type instanceState struct {
 	depth   int
 	reg     *region.Region
-	exposed map[int64]bool
-	written map[int64]bool
+	epoch   uint64
+	exposed map[int64]uint64
+	written map[int64]uint64
 }
 
 func newConflictObserver(regions []*region.Region) *conflictObserver {
@@ -51,24 +62,30 @@ func newConflictObserver(regions []*region.Region) *conflictObserver {
 
 // OnInstr implements interp.Hook.
 func (o *conflictObserver) OnInstr(m *interp.Machine, b *ir.Block, idx int) {
-	r := o.owner[b]
+	r := o.lastR
+	if b != o.lastB {
+		r = o.owner[b]
+		o.lastB, o.lastR = b, r
+	}
 	if r == nil {
 		return
 	}
 	d := m.Depth()
 	// Unwind instances belonging to returned frames.
 	for len(o.stack) > 0 && o.stack[len(o.stack)-1].depth > d {
+		o.free = append(o.free, o.stack[len(o.stack)-1])
 		o.stack = o.stack[:len(o.stack)-1]
 	}
 	top := len(o.stack) - 1
 	switch {
 	case top < 0 || o.stack[top].depth < d:
-		o.stack = append(o.stack, freshInstance(d, r))
+		o.stack = append(o.stack, o.freshInstance(d, r))
 		top++
 	case o.stack[top].reg != r || (idx == 0 && b == r.Header):
 		// Region transition within the frame, or a new pass through the
 		// header: a fresh instance begins (the header prologue re-arms).
-		o.stack[top] = freshInstance(d, r)
+		o.free = append(o.free, o.stack[top])
+		o.stack[top] = o.freshInstance(d, r)
 	}
 	if idx >= len(b.Instrs) {
 		return
@@ -83,19 +100,29 @@ func (o *conflictObserver) OnInstr(m *interp.Machine, b *ir.Block, idx int) {
 	}
 	st := &o.stack[top]
 	if in.Op == ir.OpLoad {
-		if !st.written[addr] {
-			st.exposed[addr] = true
+		if st.written[addr] != st.epoch {
+			st.exposed[addr] = st.epoch
 		}
 		return
 	}
-	if st.exposed[addr] {
+	if st.exposed[addr] == st.epoch {
 		o.violators[alias.InstrPos{Block: b, Index: idx}] = true
 	}
-	st.written[addr] = true
+	st.written[addr] = st.epoch
 }
 
-func freshInstance(d int, r *region.Region) instanceState {
-	return instanceState{depth: d, reg: r, exposed: map[int64]bool{}, written: map[int64]bool{}}
+func (o *conflictObserver) freshInstance(d int, r *region.Region) instanceState {
+	if n := len(o.free); n > 0 {
+		st := o.free[n-1]
+		o.free = o.free[:n-1]
+		st.depth, st.reg = d, r
+		st.epoch++
+		return st
+	}
+	return instanceState{
+		depth: d, reg: r, epoch: 1,
+		exposed: map[int64]uint64{}, written: map[int64]uint64{},
+	}
 }
 
 // observeConflicts runs the conflict-profiling pass and prunes every
@@ -106,6 +133,7 @@ func observeConflicts(mod *ir.Module, regions []*region.Region, icfg interp.Conf
 	o := newConflictObserver(regions)
 	icfg.Hook = o
 	m := interp.New(mod, icfg)
+	defer m.Release()
 	if _, err := m.Run(); err != nil {
 		return err
 	}

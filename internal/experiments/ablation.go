@@ -40,7 +40,7 @@ func (h *Harness) AblationEta(etas []float64) (*AblEtaResult, error) {
 		for _, sp := range h.specs() {
 			cfg := core.DefaultConfig()
 			cfg.Eta = eta
-			r, _, err := compile(sp, cfg)
+			r, _, err := h.compile(sp, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +106,7 @@ func (h *Harness) AblationBudget(budgets []float64) (*AblBudgetResult, error) {
 		for _, sp := range h.specs() {
 			cfg := core.DefaultConfig()
 			cfg.Budget = b
-			r, _, err := compile(sp, cfg)
+			r, _, err := h.compile(sp, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -155,7 +155,7 @@ func (h *Harness) AblationSignature() (*AblSignatureResult, error) {
 	res := &AblSignatureResult{}
 	for _, sp := range h.specs() {
 		// Encore overhead.
-		r, _, err := compile(sp, core.DefaultConfig())
+		r, _, err := h.compile(sp, core.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +166,7 @@ func (h *Harness) AblationSignature() (*AblSignatureResult, error) {
 			return nil, err
 		}
 		baseInstrs := base.Count
+		base.Release()
 		sigArt := sp.Build()
 		xform.InstrumentPathSignature(sigArt.Mod)
 		if err := sigArt.Mod.Verify(); err != nil {
@@ -183,6 +184,7 @@ func (h *Harness) AblationSignature() (*AblSignatureResult, error) {
 			EncoreOverhead:    r.MeasuredOverhead,
 			SignatureOverhead: float64(sm.Count-baseInstrs) / float64(baseInstrs),
 		})
+		sm.Release()
 	}
 	return res, nil
 }
@@ -225,7 +227,7 @@ func (h *Harness) AblationDetector(dmax float64) (*AblDetectorResult, error) {
 	res := &AblDetectorResult{Dmax: dmax}
 	rows := make([]AblDetectorRow, len(h.specs()))
 	err := h.forEachSpec(func(i int, sp workload.Spec) error {
-		r, _, err := compile(sp, core.DefaultConfig())
+		r, _, err := h.compile(sp, core.DefaultConfig())
 		if err != nil {
 			return err
 		}

@@ -71,11 +71,13 @@ func (h *Harness) AblationInputShift(variant uint64) (*AblInputResult, error) {
 		ref := sp.Build()
 		workload.ReRandomize(ref, variant)
 		gm := interp.New(ref.Mod, interp.Config{})
+		defer gm.Release()
 		if _, err := gm.Run(); err != nil {
 			return fmt.Errorf("%s: ref golden: %w", sp.Name, err)
 		}
 		goldenRef := gm.Checksum(ref.Outputs...)
 		im := interp.New(res.Mod, interp.Config{})
+		defer im.Release()
 		im.SetRuntime(res.Metas)
 		if _, err := im.Run(); err != nil {
 			return fmt.Errorf("%s: ref instrumented: %w", sp.Name, err)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -18,10 +19,11 @@ func traceRecord(mod *ir.Module, cap int) (*trace.Recorder, error) {
 	return trace.Record(mod, cap)
 }
 
-// traceTarget compiles a fresh build with the default configuration and
-// measures Figure 1's "Idempotence Target" curve on the instrumented run.
-func traceTarget(sp workload.Spec, cap int, lengths []int) (map[int]float64, error) {
-	res, _, err := compile(sp, core.DefaultConfig())
+// traceTarget compiles sp with the default configuration (via the
+// harness's compile cache) and measures Figure 1's "Idempotence Target"
+// curve on the instrumented run.
+func (h *Harness) traceTarget(sp workload.Spec, cap int, lengths []int) (map[int]float64, error) {
+	res, _, err := h.compile(sp, core.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -35,9 +37,12 @@ func traceTarget(sp workload.Spec, cap int, lengths []int) (map[int]float64, err
 		}
 	}
 	rec := trace.NewTargetRecorder(cap, selected)
-	m := interp.New(res.Mod, interp.Config{Hook: rec})
+	// Bound the run to the recorder's cap: once it is full, the rest of
+	// the workload cannot change the measured curve.
+	m := interp.New(res.Mod, interp.Config{Hook: rec, MaxInstrs: int64(cap)})
+	defer m.Release()
 	m.SetRuntime(res.Metas)
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(); err != nil && !errors.Is(err, interp.ErrBudget) {
 		return nil, err
 	}
 	return rec.TargetFractions(lengths, 200), nil
@@ -111,7 +116,7 @@ func (h *Harness) Table1(app string) (*Table1Result, error) {
 	})
 
 	// Encore: measured from the instrumented run.
-	r, _, err := compile(sp, core.DefaultConfig())
+	r, _, err := h.compile(sp, core.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +152,7 @@ func (r *Table1Result) Render(w io.Writer) {
 // freshLen returns the baseline dynamic length of a module.
 func freshLen(mod *ir.Module) int64 {
 	m := interp.New(mod, interp.Config{})
+	defer m.Release()
 	if _, err := m.Run(); err != nil {
 		return 1
 	}

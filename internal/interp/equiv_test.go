@@ -1,0 +1,106 @@
+package interp_test
+
+import (
+	"errors"
+	"testing"
+
+	"encore/internal/core"
+	"encore/internal/interp"
+	"encore/internal/ir"
+	"encore/internal/workload"
+)
+
+// TestFastRefEquivalence is the guard for the pre-decoded fast path: for
+// every workload, uninstrumented and Encore-instrumented, the fast loop
+// and the reference loop must agree on every observable — return value,
+// trap classification, instruction counters, output checksum, checkpoint
+// accounting, and the execution profile.
+func TestFastRefEquivalence(t *testing.T) {
+	for _, sp := range workload.All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			art := sp.Build()
+			checkEquiv(t, "plain", art.Mod, nil, art.Outputs)
+
+			iart := sp.Build()
+			res, err := core.Compile(iart.Mod, core.DefaultConfig())
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			checkEquiv(t, "instrumented", res.Mod, res.Metas, iart.Outputs)
+		})
+	}
+}
+
+// sentinels are the trap classes Run can surface; the two loops word
+// their trap messages differently, so equivalence is checked per class
+// rather than on the error strings.
+var sentinels = []error{
+	interp.ErrOutOfBounds, interp.ErrBudget, interp.ErrCallDepth,
+	interp.ErrStack, interp.ErrNoMain, interp.ErrExtern,
+}
+
+func checkEquiv(t *testing.T, label string, mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global) {
+	t.Helper()
+	fast := interp.New(mod, interp.Config{Profile: true})
+	ref := interp.New(mod, interp.Config{Profile: true, Reference: true})
+	defer fast.Release()
+	defer ref.Release()
+	if metas != nil {
+		fast.SetRuntime(metas)
+		ref.SetRuntime(metas)
+	}
+	fRet, fErr := fast.Run()
+	rRet, rErr := ref.Run()
+
+	if (fErr == nil) != (rErr == nil) {
+		t.Fatalf("%s: error mismatch: fast=%v ref=%v", label, fErr, rErr)
+	}
+	for _, s := range sentinels {
+		if errors.Is(fErr, s) != errors.Is(rErr, s) {
+			t.Fatalf("%s: trap class mismatch on %v: fast=%v ref=%v", label, s, fErr, rErr)
+		}
+	}
+	if fRet != rRet {
+		t.Errorf("%s: return value: fast=%d ref=%d", label, fRet, rRet)
+	}
+	if fast.Count != ref.Count || fast.BaseCount != ref.BaseCount {
+		t.Errorf("%s: counters: fast=(%d,%d) ref=(%d,%d)", label,
+			fast.Count, fast.BaseCount, ref.Count, ref.BaseCount)
+	}
+	if fc, rc := fast.Checksum(outs...), ref.Checksum(outs...); fc != rc {
+		t.Errorf("%s: checksum: fast=%#x ref=%#x", label, fc, rc)
+	}
+	if fast.CkptRegBytes != ref.CkptRegBytes || fast.CkptMemBytes != ref.CkptMemBytes {
+		t.Errorf("%s: ckpt bytes: fast=(%d,%d) ref=(%d,%d)", label,
+			fast.CkptRegBytes, fast.CkptMemBytes, ref.CkptRegBytes, ref.CkptMemBytes)
+	}
+	if fast.RegionEntries != ref.RegionEntries {
+		t.Errorf("%s: region entries: fast=%d ref=%d", label, fast.RegionEntries, ref.RegionEntries)
+	}
+	if fast.MaxBufferBytes != ref.MaxBufferBytes {
+		t.Errorf("%s: max buffer: fast=%d ref=%d", label, fast.MaxBufferBytes, ref.MaxBufferBytes)
+	}
+
+	// Profile equivalence by Freq semantics: the fast path's merged dense
+	// counters may leave explicit zero entries the reference path never
+	// creates, so zero-valued entries are identity.
+	for _, pair := range []struct{ a, b *interp.Profile }{{fast.Prof, ref.Prof}, {ref.Prof, fast.Prof}} {
+		for b, c := range pair.a.Block {
+			if c != 0 && pair.b.Block[b] != c {
+				t.Errorf("%s: block freq %s: %d vs %d", label, b, c, pair.b.Block[b])
+			}
+		}
+		for b, edges := range pair.a.Edge {
+			for i, c := range edges {
+				var other int64
+				if o := pair.b.Edge[b]; i < len(o) {
+					other = o[i]
+				}
+				if c != 0 && other != c {
+					t.Errorf("%s: edge freq %s[%d]: %d vs %d", label, b, i, c, other)
+				}
+			}
+		}
+	}
+}

@@ -118,6 +118,7 @@ func (m *Machine) injectMem(addr int64, b *ir.Block, idx int) {
 	f := m.fault
 	f.injected = true
 	m.Mem[addr] ^= 1 << (f.plan.Bit & 63)
+	m.noteDirty(addr)
 	f.report.Injected = true
 	f.report.Site.IsMem = true
 	f.report.Site.MemAddr = addr

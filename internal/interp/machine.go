@@ -14,6 +14,7 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"encore/internal/ir"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	Profile bool // collect block and edge execution counts
 	Hook    Hook
 	Externs map[string]ExternFunc
+
+	// Reference forces the reference dispatch loop even when no hook or
+	// fault plan is present. Used by the equivalence guard tests and
+	// benchmarks to compare the pre-decoded fast path against the
+	// semantic oracle.
+	Reference bool
 }
 
 // Profile holds execution counts gathered during a run.
@@ -98,7 +105,9 @@ type Profile struct {
 	Edge map[*ir.Block][]int64
 }
 
-// frame is one activation record.
+// frame is one activation record. Popped frames keep their regs slice in
+// the frames backing array so the next push at the same depth can reuse
+// it (pushFrame re-zeroes reused registers).
 type frame struct {
 	fn    *ir.Func
 	regs  []int64
@@ -108,6 +117,10 @@ type frame struct {
 		idx int
 		dst ir.Reg
 	}
+	// Fast-path return point: pc to resume at and the destination
+	// register of the pending call (-1 for none).
+	retPC  int32
+	retDst int32
 	region *regionState // innermost active region in this frame, or nil
 }
 
@@ -153,6 +166,98 @@ type Machine struct {
 	fault *faultState
 
 	output []int64 // values emitted via the "emit" extern
+
+	// Pre-decoded program state (decode.go). prog is decoded lazily on
+	// first fast-path run, or installed via UseProgram for sharing.
+	prog      *Program
+	externFns []ExternFunc // per-extern-site handlers resolved for this machine
+	extArgs   []int64      // scratch argument buffer for fast-path extern calls
+
+	// Dense profiling counters, indexed by Program block/edge IDs; merged
+	// into Prof at fast-loop exit.
+	pBlocks, pEdges []int64
+
+	// Dirty-memory watermarks: the inclusive address ranges written since
+	// the last Reset, tracked separately for the data segment (addr <
+	// stackBase) and the stack area at the top of memory — one combined
+	// range would span the untouched gap between them. Reset re-zeroes
+	// only these ranges (plus global initializers) instead of the whole
+	// image. hi < lo means no writes happened.
+	dirtyLo, dirtyHi       int64
+	dirtyStkLo, dirtyStkHi int64
+	stackBase              int64 // first word of the stack area
+
+	// lastResetWords records how many memory words the most recent Reset
+	// actually cleared — observability for the dirty-range tests.
+	lastResetWords int64
+
+	regionFree []*regionState // recycled checkpoint buffers
+}
+
+// noteDirty widens the dirty-memory watermark covering addr.
+func (m *Machine) noteDirty(addr int64) {
+	if addr >= m.stackBase {
+		if addr < m.dirtyStkLo {
+			m.dirtyStkLo = addr
+		}
+		if addr > m.dirtyStkHi {
+			m.dirtyStkHi = addr
+		}
+		return
+	}
+	if addr < m.dirtyLo {
+		m.dirtyLo = addr
+	}
+	if addr > m.dirtyHi {
+		m.dirtyHi = addr
+	}
+}
+
+// clearDirty zeroes one watermarked range and returns how many words it
+// cleared.
+func (m *Machine) clearDirty(lo, hi int64) int64 {
+	if hi < lo {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= int64(len(m.Mem)) {
+		hi = int64(len(m.Mem)) - 1
+	}
+	clear(m.Mem[lo : hi+1])
+	return hi - lo + 1
+}
+
+// memPool recycles memory images across machines. Every pooled image is
+// fully zeroed (Release clears the dirty ranges before pooling), so a
+// pool hit is indistinguishable from a fresh allocation. The compile
+// pipeline builds several short-lived machines per module (profiling,
+// conflict observation, measurement), and zeroing each default-sized
+// image from scratch was the largest allocation cost in the experiment
+// suite.
+var memPool sync.Pool
+
+func grabMem(words int64) []int64 {
+	if v := memPool.Get(); v != nil {
+		if mem := v.([]int64); int64(len(mem)) == words {
+			return mem
+		}
+	}
+	return make([]int64, words)
+}
+
+// Release zeroes the machine's dirty memory ranges and donates the image
+// to the shared pool; the machine must not be used afterwards. Machines
+// with custom externs keep their image out of the pool: extern handlers
+// can write memory the dirty watermarks never see.
+func (m *Machine) Release() {
+	if m.Mem != nil && m.Cfg.Externs == nil {
+		m.clearDirty(m.dirtyLo, m.dirtyHi)
+		m.clearDirty(m.dirtyStkLo, m.dirtyStkHi)
+		memPool.Put(m.Mem)
+	}
+	m.Mem = nil
 }
 
 // New builds a machine for mod. The module is laid out on first use.
@@ -189,14 +294,40 @@ func (m *Machine) SetRuntime(metas []RegionMeta) {
 
 // Reset reinitializes memory (reloading global initializers), counters,
 // profile, and fault state, allowing a fresh Run.
+//
+// Memory is re-zeroed by dirty range: the interpreter tracks the
+// inclusive address range written since the last Reset (stores, restores,
+// fault injections) and only that range is cleared, so reset cost scales
+// with the run's memory footprint rather than Cfg.MemWords — which New
+// may have auto-grown far beyond the workload's needs. Custom externs can
+// write memory without the watermark seeing it, so machines with
+// Cfg.Externs fall back to a full clear.
 func (m *Machine) Reset() {
-	if m.Mem == nil || int64(len(m.Mem)) != m.Cfg.MemWords {
-		m.Mem = make([]int64, m.Cfg.MemWords)
-	} else {
+	switch {
+	case m.Mem == nil || int64(len(m.Mem)) != m.Cfg.MemWords:
+		m.Mem = grabMem(m.Cfg.MemWords)
+		m.lastResetWords = 0
+	case m.Cfg.Externs != nil:
 		clear(m.Mem)
+		m.lastResetWords = int64(len(m.Mem))
+	default:
+		m.lastResetWords = m.clearDirty(m.dirtyLo, m.dirtyHi) +
+			m.clearDirty(m.dirtyStkLo, m.dirtyStkHi)
 	}
+	m.stackBase = m.Cfg.MemWords - m.Cfg.StackWords
+	m.dirtyLo, m.dirtyHi = int64(len(m.Mem)), -1
+	m.dirtyStkLo, m.dirtyStkHi = int64(len(m.Mem)), -1
 	for _, g := range m.Mod.Globals {
-		copy(m.Mem[g.Addr:g.Addr+g.Size], g.Init)
+		// Initializer words count as dirty: Release and the next Reset
+		// must re-zero them even if the program never stores there.
+		if n := int64(copy(m.Mem[g.Addr:g.Addr+g.Size], g.Init)); n > 0 {
+			m.noteDirty(g.Addr)
+			m.noteDirty(g.Addr + n - 1)
+		}
+	}
+	if m.pBlocks != nil {
+		clear(m.pBlocks)
+		clear(m.pEdges)
 	}
 	m.Count, m.BaseCount = 0, 0
 	m.CkptRegBytes, m.CkptMemBytes, m.RegionEntries = 0, 0, 0
@@ -211,6 +342,11 @@ func (m *Machine) Reset() {
 		m.Prof = &Profile{Block: map[*ir.Block]int64{}, Edge: map[*ir.Block][]int64{}}
 	}
 }
+
+// LastResetWords reports how many memory words the most recent Reset
+// cleared — observability for the dirty-range reset optimization (a
+// value far below Cfg.MemWords means the watermark is doing its job).
+func (m *Machine) LastResetWords() int64 { return m.lastResetWords }
 
 // Output returns the values emitted through the built-in "emit" extern.
 func (m *Machine) Output() []int64 { return m.output }

@@ -1,0 +1,123 @@
+package interp
+
+import (
+	"testing"
+
+	"encore/internal/ir"
+)
+
+// buildStoreKernel assembles a tiny program with initialized global data,
+// a global store, and a frame-slot store — dirtying a few words in both
+// the data and stack segments of an otherwise untouched memory image.
+func buildStoreKernel() (*ir.Module, *ir.Global) {
+	m := ir.NewModule("reset")
+	g := m.NewGlobal("buf", 64)
+	g.Init = []int64{5, 6, 7}
+	f := m.NewFunc("main", 0)
+	off := f.Frame(1)
+	b := f.NewBlock("entry")
+	addr, fa, v := f.NewReg(), f.NewReg(), f.NewReg()
+	b.GlobalAddr(addr, g)
+	b.Const(v, 41)
+	b.Store(addr, 3, v)
+	b.FrameAddr(fa, off)
+	b.Store(fa, 0, v)
+	b.Load(v, addr, 3)
+	b.Ret(v)
+	f.Recompute()
+	return m, g
+}
+
+// TestResetDirtyRange verifies that Reset clears only the run's dirty
+// footprint — not the whole (possibly huge) memory image — and that
+// repeated Reset+Run cycles are deterministic, including when New had to
+// auto-grow MemWords beyond the configured size.
+func TestResetDirtyRange(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"explicit-large", Config{MemWords: 1 << 21}},
+		// MemWords far below DataEnd+StackWords: New auto-grows the
+		// image, the historical over-clear case (reset cost scaled with
+		// the grown size, not the configured one).
+		{"auto-grown", Config{MemWords: 32}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mod, g := buildStoreKernel()
+			m := New(mod, c.cfg)
+			ret1, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			count1, sum1 := m.Count, m.Checksum(g)
+
+			m.Reset()
+			if w := m.LastResetWords(); w <= 0 || w > 4096 {
+				t.Fatalf("Reset cleared %d words of %d; want a small positive footprint",
+					w, len(m.Mem))
+			}
+
+			ret2, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ret1 != ret2 || m.Count != count1 || m.Checksum(g) != sum1 {
+				t.Fatalf("re-run after dirty reset diverged: ret %d→%d count %d→%d sum %#x→%#x",
+					ret1, ret2, count1, m.Count, sum1, m.Checksum(g))
+			}
+		})
+	}
+}
+
+// TestResetExternsFullClear checks the conservative fallback: custom
+// externs can write memory the watermark never sees, so those machines
+// must clear the full image.
+func TestResetExternsFullClear(t *testing.T) {
+	mod, _ := buildStoreKernel()
+	m := New(mod, Config{MemWords: 1 << 18, Externs: map[string]ExternFunc{}})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if w := m.LastResetWords(); w != int64(len(m.Mem)) {
+		t.Fatalf("extern machine cleared %d of %d words; want a full clear", w, len(m.Mem))
+	}
+}
+
+// TestReleasePoolZeroed verifies the pooled-image invariant: Release
+// zeroes the dirty ranges before pooling, so a machine built from a
+// recycled image starts with memory that is zero everywhere except its
+// own global initializers.
+func TestReleasePoolZeroed(t *testing.T) {
+	mod, g := buildStoreKernel()
+	cfg := Config{MemWords: 1<<18 + 512}
+	a := New(mod, cfg)
+	ret1, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count1, sum1 := a.Count, a.Checksum(g)
+	a.Release()
+
+	b := New(mod, cfg)
+	init := map[int64]int64{}
+	for _, gg := range mod.Globals {
+		for i, v := range gg.Init {
+			init[gg.Addr+int64(i)] = v
+		}
+	}
+	for addr, w := range b.Mem {
+		if want := init[int64(addr)]; w != want {
+			t.Fatalf("recycled image dirty at word %d: got %d, want %d", addr, w, want)
+		}
+	}
+	ret2, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret2 != ret1 || b.Count != count1 || b.Checksum(g) != sum1 {
+		t.Fatalf("run on recycled image diverged")
+	}
+}

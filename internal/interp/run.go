@@ -14,332 +14,505 @@ func (m *Machine) Run() (int64, error) {
 }
 
 // Call executes fn with the given arguments and returns its result.
+//
+// Dispatch is split into two loops. The fast path runs the pre-decoded
+// instruction stream with no per-instruction hook or fault checks; it is
+// selected whenever neither a Hook nor an armed fault plan is present.
+// The reference path (ref.go) walks the ir structures directly and
+// carries the full observation machinery; it also serves as the semantic
+// oracle for the equivalence tests (Config.Reference forces it).
 func (m *Machine) Call(fn *ir.Func, args ...int64) (int64, error) {
 	if err := m.pushFrame(fn, args); err != nil {
 		return 0, err
 	}
-	return m.loop()
+	if m.Cfg.Hook != nil || m.Cfg.Reference ||
+		(m.fault != nil && m.fault.injected && !m.fault.detected) {
+		return m.loopRef()
+	}
+	// An armed-but-uninjected fault plan still starts on the fast path:
+	// loopFast pauses just before the injection window opens and hands the
+	// active phase of the fault (injection through detection) to the
+	// reference loop, which hands control back once the fault settles.
+	return m.loopFast()
+}
+
+// newFrame pushes an activation record for fn, reusing the register slice
+// of a previously popped frame slot when possible (the interpreter's
+// dominant allocation source). Reused registers are zeroed to preserve
+// fresh-frame semantics.
+func (m *Machine) newFrame(fn *ir.Func) (*frame, error) {
+	if len(m.frames) >= m.Cfg.MaxDepth {
+		return nil, m.trap(ErrCallDepth, "calling %s", fn.Name)
+	}
+	if m.sp+fn.FrameSize > m.stackTop {
+		return nil, m.trap(ErrStack, "frame for %s needs %d words", fn.Name, fn.FrameSize)
+	}
+	var fr *frame
+	if len(m.frames) < cap(m.frames) {
+		m.frames = m.frames[:len(m.frames)+1]
+		fr = &m.frames[len(m.frames)-1]
+		if cap(fr.regs) >= fn.NumRegs {
+			fr.regs = fr.regs[:fn.NumRegs]
+			clear(fr.regs)
+		} else {
+			fr.regs = make([]int64, fn.NumRegs)
+		}
+	} else {
+		m.frames = append(m.frames, frame{regs: make([]int64, fn.NumRegs)})
+		fr = &m.frames[len(m.frames)-1]
+	}
+	fr.fn = fn
+	fr.fp = m.sp
+	fr.region = nil
+	fr.retTo.b, fr.retTo.idx, fr.retTo.dst = nil, 0, ir.NoReg
+	fr.retPC, fr.retDst = 0, -1
+	m.sp += fn.FrameSize
+	return fr, nil
 }
 
 func (m *Machine) pushFrame(fn *ir.Func, args []int64) error {
-	if len(m.frames) >= m.Cfg.MaxDepth {
-		return m.trap(ErrCallDepth, "calling %s", fn.Name)
+	fr, err := m.newFrame(fn)
+	if err != nil {
+		return err
 	}
-	if m.sp+fn.FrameSize > m.stackTop {
-		return m.trap(ErrStack, "frame for %s needs %d words", fn.Name, fn.FrameSize)
-	}
-	fr := frame{fn: fn, regs: make([]int64, fn.NumRegs), fp: m.sp}
 	copy(fr.regs, args)
-	m.sp += fn.FrameSize
-	m.frames = append(m.frames, fr)
 	return nil
 }
 
 func (m *Machine) popFrame() {
 	fr := &m.frames[len(m.frames)-1]
 	m.sp = fr.fp
+	if fr.region != nil {
+		m.freeRegion(fr.region)
+		fr.region = nil
+	}
 	m.frames = m.frames[:len(m.frames)-1]
 }
 
-// loop is the interpreter core: it runs until the frame stack drains back
-// past its starting depth, returning the value of the final return.
-func (m *Machine) loop() (int64, error) {
-	baseDepth := len(m.frames) - 1
-	fr := &m.frames[len(m.frames)-1]
-	b := fr.fn.Entry()
-	idx := 0
-	var retVal int64
-	if m.Prof != nil {
-		m.Prof.Block[b]++
+// allocRegion takes a checkpoint buffer from the machine's free list.
+func (m *Machine) allocRegion() *regionState {
+	if n := len(m.regionFree); n > 0 {
+		rs := m.regionFree[n-1]
+		m.regionFree = m.regionFree[:n-1]
+		rs.entries = rs.entries[:0]
+		rs.bytes = 0
+		return rs
 	}
+	return &regionState{}
+}
+
+func (m *Machine) freeRegion(rs *regionState) {
+	rs.meta = nil
+	m.regionFree = append(m.regionFree, rs)
+}
+
+// framesToRef converts the fast-path return points of the frames this
+// fast segment pushed into reference form ahead of a fast→ref handoff.
+func (m *Machine) framesToRef(p *Program, baseDepth int) {
+	for d := baseDepth; d < len(m.frames)-1; d++ {
+		f := &m.frames[d]
+		f.retTo.b, f.retTo.idx = p.refPos(f.retPC)
+		f.retTo.dst = ir.Reg(f.retDst)
+	}
+}
+
+// symptomHandoff reroutes an out-of-bounds access that struck while an
+// injected fault is pending detection: address faults are "highly
+// visible symptoms" (§4.3), so — exactly like the reference loop's
+// symptomTrap path — the access retires its count without executing and
+// detection is rescheduled to fire immediately. The reference loop takes
+// over at the same position and runs the detection.
+func (m *Machine) symptomHandoff(p *Program, baseDepth int, pc int32, count, base, dLo, dHi, sLo, sHi int64) (int64, error) {
+	m.fault.detectAt = count
+	m.fastFlush(p, count, base, dLo, dHi, sLo, sHi)
+	m.framesToRef(p, baseDepth)
+	rb, ridx := p.refPos(pc)
+	return m.loopRefFrom(baseDepth, rb, ridx)
+}
+
+// fastFlush writes the fast loop's shadow counters back to the machine
+// and folds dense profiling counters into the Profile maps. Called on
+// every fast-loop exit (return or trap).
+func (m *Machine) fastFlush(p *Program, count, base, dLo, dHi, sLo, sHi int64) {
+	m.Count, m.BaseCount = count, base
+	m.dirtyLo, m.dirtyHi = dLo, dHi
+	m.dirtyStkLo, m.dirtyStkHi = sLo, sHi
+	if m.pBlocks != nil {
+		m.mergeDense(p)
+	}
+}
+
+// loopFast is the pre-decoded interpreter core. It keeps the hot state —
+// pc, register file, instruction counters, dirty-memory watermark — in
+// locals, dispatches over a flat dinstr stream, and contains no hook or
+// fault-plan checks: machines needing those run loopRef instead.
+func (m *Machine) loopFast() (int64, error) {
+	p := m.program()
+	fr := &m.frames[len(m.frames)-1]
+	pc, ok := p.entry[fr.fn]
+	if !ok {
+		m.popFrame()
+		return 0, m.trap(ErrNoMain, "function %s has no body", fr.fn.Name)
+	}
+	return m.loopFastFrom(len(m.frames)-1, pc)
+}
+
+// loopFastFrom runs the fast loop from an arbitrary pc with an explicit
+// base frame depth — the entry point both for fresh calls and for the
+// reference loop handing control back after a fault settles.
+func (m *Machine) loopFastFrom(baseDepth int, pc int32) (int64, error) {
+	p := m.program()
+	code := p.code
+	mem := m.Mem
+	budget := m.Cfg.MaxInstrs
+	// stop is where the fast loop must stop dispatching and hand off to
+	// the reference loop: the instruction budget, tightened to the next
+	// pending fault event. Before injection that is InjectAt-1 (covering
+	// both the between-instruction register-file strike at InjectAt and
+	// the post-instruction output corruption of the first instruction
+	// retiring at InjectAt); after injection it is the scheduled
+	// detection point. A settled fault (detected) has no pending events.
+	stop := budget
+	if m.fault != nil {
+		switch {
+		case !m.fault.injected:
+			if ia := m.fault.plan.InjectAt - 1; ia < stop {
+				stop = ia
+			}
+		case !m.fault.detected:
+			if da := m.fault.detectAt; da < stop {
+				stop = da
+			}
+		}
+	}
+	fr := &m.frames[len(m.frames)-1]
+	regs := fr.regs
+	// base (BaseCount) is derived, not carried: it diverges from count
+	// only at the four checkpoint pseudo-ops, so the loop tracks the
+	// overhead delta ovh and materializes base = count - ovh at exits.
+	count := m.Count
+	ovh := m.Count - m.BaseCount
+	dLo, dHi := m.dirtyLo, m.dirtyHi
+	sLo, sHi := m.dirtyStkLo, m.dirtyStkHi
+	stackBase := m.stackBase
+	var pBlocks, pEdges []int64
+	if m.Prof != nil {
+		if len(m.pBlocks) != len(p.blocks) {
+			m.pBlocks = make([]int64, len(p.blocks))
+			m.pEdges = make([]int64, p.numEdges)
+		}
+		pBlocks, pEdges = m.pBlocks, m.pEdges
+	}
+	var retVal int64
 
 	for {
-		if m.Count >= m.Cfg.MaxInstrs {
-			return 0, m.trap(ErrBudget, "in %s at %s", fr.fn.Name, b)
-		}
-		if m.Cfg.Hook != nil {
-			m.Cfg.Hook.OnInstr(m, b, idx)
-		}
-
-		// Register-file strikes fire between instructions.
-		if m.fault != nil && !m.fault.injected && m.fault.plan.Mode == CorruptRegFile && m.Count >= m.fault.plan.InjectAt {
-			r := m.fault.plan.TargetReg % len(fr.regs)
-			fr.regs[r] ^= 1 << (m.fault.plan.Bit & 63)
-			m.fault.injected = true
-			m.fault.report.Injected = true
-			m.fault.report.Site.Reg = ir.Reg(r)
-			m.noteSite(&m.fault.report.Site, b, idx)
-			m.fault.detectAt = m.Count + m.fault.plan.DetectLatency
-		}
-		// Scheduled fault detection fires between instructions.
-		if m.fault != nil && m.fault.injected && !m.fault.detected && m.Count >= m.fault.detectAt {
-			nb, nidx, ok := m.detect()
-			switch {
-			case ok:
-				fr = &m.frames[len(m.frames)-1]
-				b, idx = nb, nidx
-				continue
-			case m.fault.report.Ignored:
-				// Tolerant region: resume in place.
-			default:
-				// Unrecoverable detection: surface as a detection trap.
-				return 0, ErrDetectedUnrecoverable
+		if count >= stop {
+			if count >= budget {
+				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+				return 0, m.trap(ErrBudget, "in %s at pc %d", fr.fn.Name, pc)
 			}
+			// Fault event (injection window or scheduled detection)
+			// reached: flush shadow state, convert the fast-path return
+			// points of frames this loop pushed into reference form, and
+			// continue in the reference loop.
+			m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+			m.framesToRef(p, baseDepth)
+			rb, ridx := p.refPos(pc)
+			return m.loopRefFrom(baseDepth, rb, ridx)
 		}
-
-		if idx < len(b.Instrs) {
-			in := &b.Instrs[idx]
-			m.Count++
-			if !in.Op.IsCkpt() {
-				m.BaseCount++
-			}
-			switch in.Op {
-			case ir.OpConst:
-				fr.regs[in.Dst] = in.Imm
-			case ir.OpMov:
-				fr.regs[in.Dst] = fr.regs[in.A]
-			case ir.OpAdd:
-				fr.regs[in.Dst] = fr.regs[in.A] + fr.regs[in.B]
-			case ir.OpSub:
-				fr.regs[in.Dst] = fr.regs[in.A] - fr.regs[in.B]
-			case ir.OpMul:
-				fr.regs[in.Dst] = fr.regs[in.A] * fr.regs[in.B]
-			case ir.OpDiv:
-				if d := fr.regs[in.B]; d != 0 {
-					fr.regs[in.Dst] = fr.regs[in.A] / d
-				} else {
-					fr.regs[in.Dst] = 0
-				}
-			case ir.OpRem:
-				if d := fr.regs[in.B]; d != 0 {
-					fr.regs[in.Dst] = fr.regs[in.A] % d
-				} else {
-					fr.regs[in.Dst] = 0
-				}
-			case ir.OpAnd:
-				fr.regs[in.Dst] = fr.regs[in.A] & fr.regs[in.B]
-			case ir.OpOr:
-				fr.regs[in.Dst] = fr.regs[in.A] | fr.regs[in.B]
-			case ir.OpXor:
-				fr.regs[in.Dst] = fr.regs[in.A] ^ fr.regs[in.B]
-			case ir.OpShl:
-				fr.regs[in.Dst] = fr.regs[in.A] << (uint64(fr.regs[in.B]) & 63)
-			case ir.OpShr:
-				fr.regs[in.Dst] = fr.regs[in.A] >> (uint64(fr.regs[in.B]) & 63)
-			case ir.OpNeg:
-				fr.regs[in.Dst] = -fr.regs[in.A]
-			case ir.OpNot:
-				fr.regs[in.Dst] = ^fr.regs[in.A]
-			case ir.OpAddI:
-				fr.regs[in.Dst] = fr.regs[in.A] + in.Imm
-			case ir.OpMulI:
-				fr.regs[in.Dst] = fr.regs[in.A] * in.Imm
-			case ir.OpAndI:
-				fr.regs[in.Dst] = fr.regs[in.A] & in.Imm
-			case ir.OpShlI:
-				fr.regs[in.Dst] = fr.regs[in.A] << (uint64(in.Imm) & 63)
-			case ir.OpShrI:
-				fr.regs[in.Dst] = fr.regs[in.A] >> (uint64(in.Imm) & 63)
-			case ir.OpFAdd:
-				fr.regs[in.Dst] = ir.FloatBits(ir.BitsFloat(fr.regs[in.A]) + ir.BitsFloat(fr.regs[in.B]))
-			case ir.OpFSub:
-				fr.regs[in.Dst] = ir.FloatBits(ir.BitsFloat(fr.regs[in.A]) - ir.BitsFloat(fr.regs[in.B]))
-			case ir.OpFMul:
-				fr.regs[in.Dst] = ir.FloatBits(ir.BitsFloat(fr.regs[in.A]) * ir.BitsFloat(fr.regs[in.B]))
-			case ir.OpFDiv:
-				fr.regs[in.Dst] = ir.FloatBits(ir.BitsFloat(fr.regs[in.A]) / ir.BitsFloat(fr.regs[in.B]))
-			case ir.OpFNeg:
-				fr.regs[in.Dst] = ir.FloatBits(-ir.BitsFloat(fr.regs[in.A]))
-			case ir.OpIToF:
-				fr.regs[in.Dst] = ir.FloatBits(float64(fr.regs[in.A]))
-			case ir.OpFToI:
-				fr.regs[in.Dst] = int64(ir.BitsFloat(fr.regs[in.A]))
-			case ir.OpEq:
-				fr.regs[in.Dst] = b2i(fr.regs[in.A] == fr.regs[in.B])
-			case ir.OpNe:
-				fr.regs[in.Dst] = b2i(fr.regs[in.A] != fr.regs[in.B])
-			case ir.OpLt:
-				fr.regs[in.Dst] = b2i(fr.regs[in.A] < fr.regs[in.B])
-			case ir.OpLe:
-				fr.regs[in.Dst] = b2i(fr.regs[in.A] <= fr.regs[in.B])
-			case ir.OpFEq:
-				fr.regs[in.Dst] = b2i(ir.BitsFloat(fr.regs[in.A]) == ir.BitsFloat(fr.regs[in.B]))
-			case ir.OpFLt:
-				fr.regs[in.Dst] = b2i(ir.BitsFloat(fr.regs[in.A]) < ir.BitsFloat(fr.regs[in.B]))
-			case ir.OpFLe:
-				fr.regs[in.Dst] = b2i(ir.BitsFloat(fr.regs[in.A]) <= ir.BitsFloat(fr.regs[in.B]))
-			case ir.OpLoad:
-				addr := fr.regs[in.A] + in.Imm
-				if addr < 0 || addr >= int64(len(m.Mem)) {
-					if m.symptomTrap() {
-						continue // detector fires immediately on the trap symptom
-					}
-					return 0, m.trap(ErrOutOfBounds, "load [%d] in %s %s", addr, fr.fn.Name, b)
-				}
-				fr.regs[in.Dst] = m.Mem[addr]
-			case ir.OpStore:
-				addr := fr.regs[in.A] + in.Imm
-				if addr < 0 || addr >= int64(len(m.Mem)) {
-					if m.symptomTrap() {
-						continue // detector fires immediately on the trap symptom
-					}
-					return 0, m.trap(ErrOutOfBounds, "store [%d] in %s %s", addr, fr.fn.Name, b)
-				}
-				m.Mem[addr] = fr.regs[in.B]
-				if m.fault != nil && !m.fault.injected && m.fault.plan.Mode == CorruptOutput && m.Count >= m.fault.plan.InjectAt {
-					m.injectMem(addr, b, idx)
-				}
-			case ir.OpFrame:
-				fr.regs[in.Dst] = fr.fp + in.Imm
-			case ir.OpGlobal:
-				fr.regs[in.Dst] = m.Mod.Globals[in.Imm].Addr
-			case ir.OpCall:
-				args := make([]int64, len(in.Args))
-				for i, r := range in.Args {
-					args[i] = fr.regs[r]
-				}
-				fr.retTo.b, fr.retTo.idx, fr.retTo.dst = b, idx+1, in.Dst
-				if err := m.pushFrame(in.Callee, args); err != nil {
-					return 0, err
-				}
-				fr = &m.frames[len(m.frames)-1]
-				b = fr.fn.Entry()
-				idx = 0
-				if m.Prof != nil {
-					m.Prof.Block[b]++
-				}
-				continue
-			case ir.OpExtern:
-				ef := m.Cfg.Externs[in.Extern]
-				if ef == nil {
-					ef = builtinExterns[in.Extern]
-				}
-				if ef == nil {
-					return 0, m.trap(ErrExtern, "%q", in.Extern)
-				}
-				args := make([]int64, len(in.Args))
-				for i, r := range in.Args {
-					args[i] = fr.regs[r]
-				}
-				fr.regs[in.Dst] = ef(m, args)
-			case ir.OpSetRecovery:
-				meta := m.regions[int(in.Imm)]
-				m.instanceSeq++
-				m.RegionEntries++
-				rs := &regionState{meta: meta, instance: m.instanceSeq, frame: len(m.frames) - 1}
-				fr.region = rs
-			case ir.OpCkptReg:
-				if fr.region != nil {
-					fr.region.entries = append(fr.region.entries,
-						ckptEntry{isMem: false, key: int64(in.A), val: fr.regs[in.A]})
-					fr.region.bytes += 4
-					m.CkptRegBytes += 4
-					if fr.region.bytes > m.MaxBufferBytes {
-						m.MaxBufferBytes = fr.region.bytes
-					}
-				}
-			case ir.OpCkptMem:
-				addr := fr.regs[in.A] + in.Imm2
-				if addr < 0 || addr >= int64(len(m.Mem)) {
-					return 0, m.trap(ErrOutOfBounds, "ckptmem [%d] in %s", addr, fr.fn.Name)
-				}
-				if fr.region != nil {
-					fr.region.entries = append(fr.region.entries,
-						ckptEntry{isMem: true, key: addr, val: m.Mem[addr]})
-					fr.region.bytes += 8
-					m.CkptMemBytes += 8
-					if fr.region.bytes > m.MaxBufferBytes {
-						m.MaxBufferBytes = fr.region.bytes
-					}
-				}
-				m.Count++ // memory checkpoints cost two instructions (addr+data)
-			case ir.OpRestore:
-				if fr.region != nil {
-					for i := len(fr.region.entries) - 1; i >= 0; i-- {
-						e := fr.region.entries[i]
-						if e.isMem {
-							m.Mem[e.key] = e.val
-						} else {
-							fr.regs[e.key] = e.val
-						}
-					}
-					fr.region.entries = fr.region.entries[:0]
-				}
-			default:
-				return 0, m.trap(ErrOutOfBounds, "bad opcode %s", in.Op)
-			}
-			// Register-output fault injection point.
-			if m.fault != nil && !m.fault.injected && m.fault.plan.Mode == CorruptOutput && m.Count >= m.fault.plan.InjectAt {
-				if d := in.Def(); d != ir.NoReg {
-					m.injectReg(fr, d, b, idx)
-				}
-			}
-			idx++
-			continue
-		}
-
-		// Terminator.
-		m.Count++
-		m.BaseCount++
-		t := &b.Term
-		var next *ir.Block
-		switch t.Op {
-		case ir.TermJmp:
-			next = t.Targets[0]
-			m.countEdge(b, 0)
-		case ir.TermBr:
-			if fr.regs[t.Cond] != 0 {
-				next = t.Targets[0]
-				m.countEdge(b, 0)
+		in := &code[pc]
+		count++
+		switch in.op {
+		case uint8(ir.OpConst):
+			regs[in.dst] = in.imm
+		case uint8(ir.OpMov):
+			regs[in.dst] = regs[in.a]
+		case uint8(ir.OpAdd):
+			regs[in.dst] = regs[in.a] + regs[in.b]
+		case uint8(ir.OpSub):
+			regs[in.dst] = regs[in.a] - regs[in.b]
+		case uint8(ir.OpMul):
+			regs[in.dst] = regs[in.a] * regs[in.b]
+		case uint8(ir.OpDiv):
+			if d := regs[in.b]; d != 0 {
+				regs[in.dst] = regs[in.a] / d
 			} else {
-				next = t.Targets[1]
-				m.countEdge(b, 1)
+				regs[in.dst] = 0
 			}
-		case ir.TermSwitch:
-			i := fr.regs[t.Cond]
+		case uint8(ir.OpRem):
+			if d := regs[in.b]; d != 0 {
+				regs[in.dst] = regs[in.a] % d
+			} else {
+				regs[in.dst] = 0
+			}
+		case uint8(ir.OpAnd):
+			regs[in.dst] = regs[in.a] & regs[in.b]
+		case uint8(ir.OpOr):
+			regs[in.dst] = regs[in.a] | regs[in.b]
+		case uint8(ir.OpXor):
+			regs[in.dst] = regs[in.a] ^ regs[in.b]
+		case uint8(ir.OpShl):
+			regs[in.dst] = regs[in.a] << (uint64(regs[in.b]) & 63)
+		case uint8(ir.OpShr):
+			regs[in.dst] = regs[in.a] >> (uint64(regs[in.b]) & 63)
+		case uint8(ir.OpNeg):
+			regs[in.dst] = -regs[in.a]
+		case uint8(ir.OpNot):
+			regs[in.dst] = ^regs[in.a]
+		case uint8(ir.OpAddI):
+			regs[in.dst] = regs[in.a] + in.imm
+		case uint8(ir.OpMulI):
+			regs[in.dst] = regs[in.a] * in.imm
+		case uint8(ir.OpAndI):
+			regs[in.dst] = regs[in.a] & in.imm
+		case uint8(ir.OpShlI):
+			regs[in.dst] = regs[in.a] << (uint64(in.imm) & 63)
+		case uint8(ir.OpShrI):
+			regs[in.dst] = regs[in.a] >> (uint64(in.imm) & 63)
+		case uint8(ir.OpFAdd):
+			regs[in.dst] = ir.FloatBits(ir.BitsFloat(regs[in.a]) + ir.BitsFloat(regs[in.b]))
+		case uint8(ir.OpFSub):
+			regs[in.dst] = ir.FloatBits(ir.BitsFloat(regs[in.a]) - ir.BitsFloat(regs[in.b]))
+		case uint8(ir.OpFMul):
+			regs[in.dst] = ir.FloatBits(ir.BitsFloat(regs[in.a]) * ir.BitsFloat(regs[in.b]))
+		case uint8(ir.OpFDiv):
+			regs[in.dst] = ir.FloatBits(ir.BitsFloat(regs[in.a]) / ir.BitsFloat(regs[in.b]))
+		case uint8(ir.OpFNeg):
+			regs[in.dst] = ir.FloatBits(-ir.BitsFloat(regs[in.a]))
+		case uint8(ir.OpIToF):
+			regs[in.dst] = ir.FloatBits(float64(regs[in.a]))
+		case uint8(ir.OpFToI):
+			regs[in.dst] = int64(ir.BitsFloat(regs[in.a]))
+		case uint8(ir.OpEq):
+			regs[in.dst] = b2i(regs[in.a] == regs[in.b])
+		case uint8(ir.OpNe):
+			regs[in.dst] = b2i(regs[in.a] != regs[in.b])
+		case uint8(ir.OpLt):
+			regs[in.dst] = b2i(regs[in.a] < regs[in.b])
+		case uint8(ir.OpLe):
+			regs[in.dst] = b2i(regs[in.a] <= regs[in.b])
+		case uint8(ir.OpFEq):
+			regs[in.dst] = b2i(ir.BitsFloat(regs[in.a]) == ir.BitsFloat(regs[in.b]))
+		case uint8(ir.OpFLt):
+			regs[in.dst] = b2i(ir.BitsFloat(regs[in.a]) < ir.BitsFloat(regs[in.b]))
+		case uint8(ir.OpFLe):
+			regs[in.dst] = b2i(ir.BitsFloat(regs[in.a]) <= ir.BitsFloat(regs[in.b]))
+		case uint8(ir.OpLoad):
+			addr := regs[in.a] + in.imm
+			if addr < 0 || addr >= int64(len(mem)) {
+				if m.fault != nil && m.fault.injected && !m.fault.detected {
+					return m.symptomHandoff(p, baseDepth, pc, count, count-ovh, dLo, dHi, sLo, sHi)
+				}
+				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+				return 0, m.trap(ErrOutOfBounds, "load [%d] in %s", addr, fr.fn.Name)
+			}
+			regs[in.dst] = mem[addr]
+		case uint8(ir.OpStore):
+			addr := regs[in.a] + in.imm
+			if addr < 0 || addr >= int64(len(mem)) {
+				if m.fault != nil && m.fault.injected && !m.fault.detected {
+					return m.symptomHandoff(p, baseDepth, pc, count, count-ovh, dLo, dHi, sLo, sHi)
+				}
+				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+				return 0, m.trap(ErrOutOfBounds, "store [%d] in %s", addr, fr.fn.Name)
+			}
+			mem[addr] = regs[in.b]
+			if addr >= stackBase {
+				if addr < sLo {
+					sLo = addr
+				}
+				if addr > sHi {
+					sHi = addr
+				}
+			} else {
+				if addr < dLo {
+					dLo = addr
+				}
+				if addr > dHi {
+					dHi = addr
+				}
+			}
+		case uint8(ir.OpFrame):
+			regs[in.dst] = fr.fp + in.imm
+		case uint8(ir.OpCall):
+			c := &p.calls[in.aux]
+			// fr may be invalidated by the frames append: park the
+			// return point first, and re-take pointers after.
+			fr.retPC, fr.retDst = pc+1, c.dst
+			callerRegs := regs
+			nf, err := m.newFrame(c.fn)
+			if err != nil {
+				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+				return 0, err
+			}
+			for i, r := range c.args {
+				nf.regs[i] = callerRegs[r]
+			}
+			fr = nf
+			regs = nf.regs
+			pc = c.entry
+			continue
+		case uint8(ir.OpExtern):
+			ef := m.externFns[in.aux]
+			if ef == nil {
+				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+				return 0, m.trap(ErrExtern, "%q", p.externs[in.aux].name)
+			}
+			e := &p.externs[in.aux]
+			m.extArgs = m.extArgs[:0]
+			for _, r := range e.args {
+				m.extArgs = append(m.extArgs, regs[r])
+			}
+			// Externs may observe the machine or re-enter Call: sync the
+			// shadow state out, and reload it (plus frame pointers, which a
+			// nested Call's frame growth can invalidate) afterwards.
+			m.Count, m.BaseCount = count, count-ovh
+			m.dirtyLo, m.dirtyHi = dLo, dHi
+			m.dirtyStkLo, m.dirtyStkHi = sLo, sHi
+			v := ef(m, m.extArgs)
+			count, ovh = m.Count, m.Count-m.BaseCount
+			dLo, dHi = m.dirtyLo, m.dirtyHi
+			sLo, sHi = m.dirtyStkLo, m.dirtyStkHi
+			fr = &m.frames[len(m.frames)-1]
+			regs = fr.regs
+			regs[in.dst] = v
+		case uint8(ir.OpSetRecovery):
+			ovh++ // instrumentation op: counts only toward Count
+			meta := m.regions[int(in.imm)]
+			m.instanceSeq++
+			m.RegionEntries++
+			if fr.region != nil {
+				m.freeRegion(fr.region)
+			}
+			rs := m.allocRegion()
+			rs.meta = meta
+			rs.instance = m.instanceSeq
+			rs.frame = len(m.frames) - 1
+			fr.region = rs
+		case uint8(ir.OpCkptReg):
+			ovh++
+			if fr.region != nil {
+				fr.region.entries = append(fr.region.entries,
+					ckptEntry{isMem: false, key: int64(in.a), val: regs[in.a]})
+				fr.region.bytes += 4
+				m.CkptRegBytes += 4
+				if fr.region.bytes > m.MaxBufferBytes {
+					m.MaxBufferBytes = fr.region.bytes
+				}
+			}
+		case uint8(ir.OpCkptMem):
+			ovh++
+			addr := regs[in.a] + in.imm
+			if addr < 0 || addr >= int64(len(mem)) {
+				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+				return 0, m.trap(ErrOutOfBounds, "ckptmem [%d] in %s", addr, fr.fn.Name)
+			}
+			if fr.region != nil {
+				fr.region.entries = append(fr.region.entries,
+					ckptEntry{isMem: true, key: addr, val: mem[addr]})
+				fr.region.bytes += 8
+				m.CkptMemBytes += 8
+				if fr.region.bytes > m.MaxBufferBytes {
+					m.MaxBufferBytes = fr.region.bytes
+				}
+			}
+			// Memory checkpoints cost two instructions (addr+data), both
+			// pure overhead: neither counts toward BaseCount.
+			count++
+			ovh++
+		case uint8(ir.OpRestore):
+			ovh++
+			if fr.region != nil {
+				for i := len(fr.region.entries) - 1; i >= 0; i-- {
+					e := fr.region.entries[i]
+					if e.isMem {
+						mem[e.key] = e.val
+						if e.key >= stackBase {
+							if e.key < sLo {
+								sLo = e.key
+							}
+							if e.key > sHi {
+								sHi = e.key
+							}
+						} else {
+							if e.key < dLo {
+								dLo = e.key
+							}
+							if e.key > dHi {
+								dHi = e.key
+							}
+						}
+					} else {
+						regs[e.key] = e.val
+					}
+				}
+				fr.region.entries = fr.region.entries[:0]
+			}
+
+		case dJmp:
+			if pBlocks != nil {
+				pBlocks[in.dst]++
+				pEdges[in.b]++
+			}
+			pc = in.aux
+			continue
+		case dBr:
+			if regs[in.a] != 0 {
+				if pBlocks != nil {
+					pBlocks[in.dst]++
+					pEdges[in.b]++
+				}
+				pc = in.aux
+			} else {
+				if pBlocks != nil {
+					pBlocks[in.dst]++
+					pEdges[in.b+1]++
+				}
+				pc = int32(in.imm)
+			}
+			continue
+		case dSwitch:
+			tbl := p.switches[in.aux]
+			i := regs[in.a]
 			if i < 0 {
 				i = 0
 			}
-			if i >= int64(len(t.Targets)) {
-				i = int64(len(t.Targets)) - 1
+			if i >= int64(len(tbl)) {
+				i = int64(len(tbl)) - 1
 			}
-			next = t.Targets[i]
-			m.countEdge(b, int(i))
-		case ir.TermRet:
-			if t.HasVal {
-				retVal = fr.regs[t.Val]
+			if pBlocks != nil {
+				pBlocks[in.dst]++
+				pEdges[int64(in.b)+i]++
+			}
+			pc = tbl[i]
+			continue
+		case dRet:
+			if pBlocks != nil {
+				pBlocks[in.dst]++
+			}
+			if in.a >= 0 {
+				retVal = regs[in.a]
 			} else {
 				retVal = 0
 			}
 			m.popFrame()
 			if len(m.frames) <= baseDepth {
+				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
 				return retVal, nil
 			}
 			fr = &m.frames[len(m.frames)-1]
-			if fr.retTo.dst != ir.NoReg {
-				fr.regs[fr.retTo.dst] = retVal
+			regs = fr.regs
+			if fr.retDst >= 0 {
+				regs[fr.retDst] = retVal
 			}
-			b, idx = fr.retTo.b, fr.retTo.idx
+			pc = fr.retPC
 			continue
+		default:
+			m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+			return 0, m.trap(ErrOutOfBounds, "bad opcode %d at pc %d", in.op, pc)
 		}
-		if m.Prof != nil {
-			m.Prof.Block[next]++
-		}
-		b = next
-		idx = 0
+		pc++
 	}
-}
-
-func (m *Machine) countEdge(b *ir.Block, succ int) {
-	if m.Prof == nil {
-		return
-	}
-	e := m.Prof.Edge[b]
-	if e == nil {
-		e = make([]int64, len(b.Term.Targets))
-		m.Prof.Edge[b] = e
-	}
-	e[succ]++
 }
 
 func b2i(v bool) int64 {

@@ -77,6 +77,7 @@ func collect(mod *ir.Module, cfg interp.Config, withAddrs bool) (*Data, AddrProf
 		cfg.Hook = rec
 	}
 	m := interp.New(mod, cfg)
+	defer m.Release()
 	if _, err := m.Run(); err != nil {
 		return nil, nil, fmt.Errorf("profile run: %w", err)
 	}
@@ -85,6 +86,66 @@ func collect(mod *ir.Module, cfg interp.Config, withAddrs bool) (*Data, AddrProf
 		return d, rec.obs, nil
 	}
 	return d, nil, nil
+}
+
+// Positional is a structure-independent encoding of a profile: counters
+// keyed by (function index, block index) instead of block pointers.
+// Workload builds are deterministic, so a profile collected on one build
+// of a program can be replayed onto any other build of the same program.
+type Positional struct {
+	Block map[[2]int32]int64
+	Edge  map[[2]int32][]int64
+	Total int64
+}
+
+// Positional converts d — collected on mod — into positional form.
+func (d *Data) Positional(mod *ir.Module) *Positional {
+	pos := map[*ir.Block][2]int32{}
+	for fi, f := range mod.Funcs {
+		for bi, b := range f.Blocks {
+			pos[b] = [2]int32{int32(fi), int32(bi)}
+		}
+	}
+	p := &Positional{Block: map[[2]int32]int64{}, Edge: map[[2]int32][]int64{}, Total: d.Total}
+	for b, c := range d.Block {
+		if k, ok := pos[b]; ok {
+			p.Block[k] = c
+		}
+	}
+	for b, e := range d.Edge {
+		if k, ok := pos[b]; ok {
+			p.Edge[k] = append([]int64(nil), e...)
+		}
+	}
+	return p
+}
+
+// Materialize replays a positional profile onto another build of the same
+// program. The returned Data is private to the caller (fresh maps and
+// slices). Positions that do not exist in mod are dropped.
+func (p *Positional) Materialize(mod *ir.Module) *Data {
+	d := &Data{Block: make(map[*ir.Block]int64, len(p.Block)), Edge: make(map[*ir.Block][]int64, len(p.Edge)), Total: p.Total}
+	at := func(k [2]int32) *ir.Block {
+		if int(k[0]) >= len(mod.Funcs) {
+			return nil
+		}
+		f := mod.Funcs[k[0]]
+		if int(k[1]) >= len(f.Blocks) {
+			return nil
+		}
+		return f.Blocks[k[1]]
+	}
+	for k, c := range p.Block {
+		if b := at(k); b != nil {
+			d.Block[b] = c
+		}
+	}
+	for k, e := range p.Edge {
+		if b := at(k); b != nil {
+			d.Edge[b] = append([]int64(nil), e...)
+		}
+	}
+	return d
 }
 
 // Freq returns the execution count of block b.

@@ -52,6 +52,7 @@ type MaskingConfig struct {
 	Seed          uint64
 	Bits          int     // datapath width to flip within (default 32)
 	LatchFraction float64 // 0 selects DefaultLatchFraction
+	Workers       int     // trial parallelism; 0 selects runtime.GOMAXPROCS(0)
 }
 
 // MaskingResult reports the masking study's outcome.
@@ -82,12 +83,14 @@ func MeasureMasking(build func() (*ir.Module, []*ir.Global), cfg MaskingConfig) 
 		cfg.LatchFraction = DefaultLatchFraction
 	}
 	mod, outs := build()
-	m := interp.New(mod, interp.Config{})
+	pool := newMachinePool(mod, nil)
+	m := pool.get()
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("sfi: golden run: %w", err)
 	}
 	golden := m.Checksum(outs...)
 	total := m.Count
+	pool.put(m)
 
 	// Pre-derive every trial's plan from the seed, then execute trials on
 	// a bounded worker pool (each worker owns one machine); results are
@@ -105,7 +108,7 @@ func MeasureMasking(build func() (*ir.Module, []*ir.Global), cfg MaskingConfig) 
 		}
 	}
 	var mu sync.Mutex
-	runTrials(mod, nil, len(plans), func(w *interp.Machine, t int) {
+	runTrials(pool, len(plans), cfg.Workers, func(w *interp.Machine, t int) {
 		w.Reset()
 		w.InjectFault(plans[t])
 		_, err := w.Run()
@@ -182,10 +185,11 @@ func (o Outcome) String() string {
 // CampaignConfig parametrizes an end-to-end injection campaign against an
 // instrumented module.
 type CampaignConfig struct {
-	Trials int
-	Seed   uint64
-	Bits   int   // datapath width (default 32)
-	Dmax   int64 // maximum detection latency, uniform [0, Dmax]
+	Trials  int
+	Seed    uint64
+	Bits    int   // datapath width (default 32)
+	Dmax    int64 // maximum detection latency, uniform [0, Dmax]
+	Workers int   // trial parallelism; 0 selects runtime.GOMAXPROCS(0)
 }
 
 // CampaignResult aggregates trial outcomes.
@@ -225,13 +229,14 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	if cfg.Bits <= 0 {
 		cfg.Bits = 32
 	}
-	m := interp.New(mod, interp.Config{})
-	m.SetRuntime(metas)
+	pool := newMachinePool(mod, metas)
+	m := pool.get()
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("sfi: golden run: %w", err)
 	}
 	golden := m.Checksum(outs...)
 	total := m.Count
+	pool.put(m)
 
 	res := &CampaignResult{Trials: cfg.Trials}
 	r := rng(cfg.Seed ^ 0xFA0C7)
@@ -245,7 +250,7 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 		}
 	}
 	var mu sync.Mutex
-	runTrials(mod, metas, len(plans), func(w *interp.Machine, t int) {
+	runTrials(pool, len(plans), cfg.Workers, func(w *interp.Machine, t int) {
 		w.Reset()
 		w.InjectFault(plans[t])
 		_, err := w.Run()
@@ -279,30 +284,67 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	return res, nil
 }
 
+// machinePool hands out ready-to-run machines for one campaign. All
+// machines share a single pre-decoded Program (decoding is per-module,
+// not per-machine work) and are recycled through a sync.Pool, so a
+// worker picking up where the golden run left off inherits its memory
+// image, frame slots, and checkpoint buffers instead of reallocating
+// them.
+type machinePool struct {
+	pool sync.Pool
+}
+
+func newMachinePool(mod *ir.Module, metas []interp.RegionMeta) *machinePool {
+	prog := interp.Predecode(mod)
+	p := &machinePool{}
+	p.pool.New = func() any {
+		w := interp.New(mod, interp.Config{})
+		w.UseProgram(prog)
+		if metas != nil {
+			w.SetRuntime(metas)
+		}
+		return w
+	}
+	return p
+}
+
+func (p *machinePool) get() *interp.Machine  { return p.pool.Get().(*interp.Machine) }
+func (p *machinePool) put(w *interp.Machine) { p.pool.Put(w) }
+
 // runTrials executes fn over trial indices on a bounded worker pool, each
-// worker owning a private machine (machines are not goroutine-safe). Trial
-// plans are pre-derived, so results are identical to the serial order.
-func runTrials(mod *ir.Module, metas []interp.RegionMeta, trials int, fn func(w *interp.Machine, t int)) {
-	workers := runtime.GOMAXPROCS(0)
+// worker leasing a private machine (machines are not goroutine-safe).
+// Trial plans are pre-derived, so results are identical to the serial
+// order. workers <= 0 selects runtime.GOMAXPROCS(0); a single worker runs
+// inline with no goroutine or channel overhead.
+func runTrials(pool *machinePool, trials, workers int, fn func(w *interp.Machine, t int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > trials {
 		workers = trials
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	idx := make(chan int)
+	if workers == 1 {
+		w := pool.get()
+		for t := 0; t < trials; t++ {
+			fn(w, t)
+		}
+		pool.put(w)
+		return
+	}
+	idx := make(chan int, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := interp.New(mod, interp.Config{})
-			if metas != nil {
-				w.SetRuntime(metas)
-			}
+			w := pool.get()
 			for t := range idx {
 				fn(w, t)
 			}
+			pool.put(w)
 		}()
 	}
 	for t := 0; t < trials; t++ {

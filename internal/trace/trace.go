@@ -11,6 +11,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 
 	"encore/internal/interp"
@@ -33,6 +34,14 @@ type Recorder struct {
 	// accesses.
 	Marks []int32 // Marks[i] = index into Events at instruction i... see Observe
 	insts int
+
+	// Scratch state for WindowIdempotent: epoch-stamped membership maps
+	// reused across the thousands of sampled windows, so each window scan
+	// allocates nothing. An address is in the current window's set iff its
+	// stamp equals epoch.
+	epoch      int
+	scratchExp map[int64]int
+	scratchWr  map[int64]int
 }
 
 // NewRecorder builds a recorder bounded to cap events.
@@ -63,11 +72,14 @@ func (r *Recorder) OnInstr(m *interp.Machine, b *ir.Block, idx int) {
 }
 
 // Record runs the module's main function capturing up to cap dynamic
-// instructions of memory trace.
+// instructions of memory trace. The run itself is bounded to the cap:
+// once the recorder is full, executing the rest of the workload cannot
+// change the trace, so the interpreter's budget stops it there.
 func Record(mod *ir.Module, cap int) (*Recorder, error) {
 	r := NewRecorder(cap)
-	m := interp.New(mod, interp.Config{Hook: r})
-	if _, err := m.Run(); err != nil {
+	m := interp.New(mod, interp.Config{Hook: r, MaxInstrs: int64(cap)})
+	defer m.Release()
+	if _, err := m.Run(); err != nil && !(errors.Is(err, interp.ErrBudget) && len(r.Marks) >= cap) {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	return r, nil
@@ -85,16 +97,20 @@ func (r *Recorder) WindowIdempotent(start, length int) bool {
 	if start+length < len(r.Marks) {
 		hi = int(r.Marks[start+length])
 	}
-	exposed := map[int64]bool{}
-	written := map[int64]bool{}
+	if r.scratchExp == nil {
+		r.scratchExp = map[int64]int{}
+		r.scratchWr = map[int64]int{}
+	}
+	r.epoch++
+	ep, exposed, written := r.epoch, r.scratchExp, r.scratchWr
 	for _, e := range r.Events[lo:hi] {
 		if e.IsStore {
-			if exposed[e.Addr] {
+			if exposed[e.Addr] == ep {
 				return false
 			}
-			written[e.Addr] = true
-		} else if !written[e.Addr] {
-			exposed[e.Addr] = true
+			written[e.Addr] = ep
+		} else if written[e.Addr] != ep {
+			exposed[e.Addr] = ep
 		}
 	}
 	return true

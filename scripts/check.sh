@@ -1,0 +1,31 @@
+#!/bin/sh
+# Repository health gate: formatting, vet, the full test suite, and the
+# race detector over the packages that run concurrent machinery (the SFI
+# trial pool and the experiments compile cache / worker pool).
+#
+# Usage: scripts/check.sh   (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/sfi ./internal/experiments"
+go test -race ./internal/sfi ./internal/experiments
+
+echo "OK"
