@@ -4,23 +4,32 @@
 //
 //	encore-bench [-exp fig1|table1|fig5|fig6|fig7a|fig7b|fig8|all]
 //	             [-apps a,b,c] [-quick] [-table1-app name] [-json file]
+//	             [-metrics file|-] [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints the same rows/series as the corresponding paper
 // exhibit; see EXPERIMENTS.md for the paper-vs-measured comparison.
 // With -json, a machine-readable report — per-experiment wall-clock plus
 // the full result dataset — is additionally written to the given file.
+// With -metrics, the process-wide observability snapshot (per-stage
+// compile spans, heuristic counters, interpreter and SFI totals; see
+// DESIGN.md §9) is written as JSON to the given file, or to stdout for
+// "-". -cpuprofile and -memprofile write pprof profiles of the run.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"encore/internal/experiments"
+	"encore/internal/obs"
 )
 
 // renderable is what every experiment result implements.
@@ -42,14 +51,44 @@ type report struct {
 }
 
 func main() {
+	if err := runBench(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "encore-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// runBench is the whole command behind a testable seam: flags come from
+// argv, experiment tables and "-metrics -" output go to stdout.
+func runBench(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("encore-bench", flag.ContinueOnError)
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, all")
-		apps     = flag.String("apps", "", "comma-separated benchmark subset")
-		quick    = flag.Bool("quick", false, "reduced Monte-Carlo trials")
-		t1app    = flag.String("table1-app", "175.vpr", "workload for the Table 1 comparison")
-		jsonPath = flag.String("json", "", "write a JSON report (wall-clock + results) to this file")
+		exp        = fs.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, all")
+		apps       = fs.String("apps", "", "comma-separated benchmark subset")
+		quick      = fs.Bool("quick", false, "reduced Monte-Carlo trials")
+		t1app      = fs.String("table1-app", "175.vpr", "workload for the Table 1 comparison")
+		jsonPath   = fs.String("json", "", "write a JSON report (wall-clock + results) to this file")
+		metrics    = fs.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	h := &experiments.Harness{Quick: *quick}
 	if *apps != "" {
@@ -91,18 +130,20 @@ func main() {
 		names = []string{"fig1", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig8",
 			"abl-eta", "abl-budget", "abl-signature", "abl-detector", "abl-input"}
 	}
+	reg := obs.Default()
 	rep := report{Quick: *quick, Apps: h.Apps}
 	total := time.Now()
 	for _, n := range names {
+		sp := reg.Span("bench/" + n)
 		start := time.Now()
 		r, err := run(n)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "encore-bench:", err)
-			os.Exit(1)
-		}
 		wall := time.Since(start)
-		r.Render(os.Stdout)
-		fmt.Printf("[%s: %.0f ms]\n\n", n, float64(wall.Microseconds())/1000)
+		sp.End()
+		if err != nil {
+			return err
+		}
+		r.Render(stdout)
+		fmt.Fprintf(stdout, "[%s: %.0f ms]\n\n", n, float64(wall.Microseconds())/1000)
 		rep.Experiments = append(rep.Experiments, expReport{
 			Name: n, WallMS: float64(wall.Microseconds()) / 1000, Result: r,
 		})
@@ -112,13 +153,26 @@ func main() {
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "encore-bench: json:", err)
-			os.Exit(1)
+			return fmt.Errorf("json: %w", err)
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "encore-bench: json:", err)
-			os.Exit(1)
+			return fmt.Errorf("json: %w", err)
 		}
 	}
+	if err := obs.WriteMetricsTo(*metrics, reg, stdout); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
 }

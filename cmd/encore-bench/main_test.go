@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestMetricsJSON runs the real table1 experiment through runBench with
+// "-metrics -" and checks the snapshot appended to stdout is valid JSON
+// with the documented top-level sections and the expected span/counter
+// families.
+func TestMetricsJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := runBench([]string{"-exp", "table1", "-table1-app", "rawcaudio", "-quick", "-metrics", "-"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is the indented JSON object trailing the rendered
+	// experiment table; it always opens with the counters section.
+	text := out.String()
+	idx := strings.LastIndex(text, "{\n  \"counters\"")
+	if idx < 0 {
+		t.Fatalf("no metrics JSON in output:\n%s", text)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(text[idx:]), &snap); err != nil {
+		t.Fatalf("metrics output is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"counters", "histograms", "spans"} {
+		if _, ok := snap[key]; !ok {
+			t.Errorf("metrics JSON missing top-level key %q", key)
+		}
+	}
+
+	type named struct {
+		Name string `json:"name"`
+	}
+	nameSet := func(key string) map[string]bool {
+		var rows []named
+		if err := json.Unmarshal(snap[key], &rows); err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		set := map[string]bool{}
+		for _, r := range rows {
+			set[r.Name] = true
+		}
+		return set
+	}
+	spans := nameSet("spans")
+	for _, want := range []string{"bench/table1", "compile", "compile/profile", "compile/select"} {
+		if !spans[want] {
+			t.Errorf("missing span %q (have %v)", want, spans)
+		}
+	}
+	counters := nameSet("counters")
+	for _, want := range []string{"compile.runs", "compile.region.candidates", "interp.instrs.total"} {
+		if !counters[want] {
+			t.Errorf("missing counter %q", want)
+		}
+	}
+}

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking] [-workers n]
+//	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking]
+//	           [-workers n] [-progress] [-metrics file|-]
+//
+// -progress emits a rate-limited trial counter to stderr while a campaign
+// runs. -metrics writes the observability snapshot (compile spans, SFI
+// outcome counters, worker throughput; see DESIGN.md §9) as JSON to the
+// given file, or to stdout for "-".
 package main
 
 import (
@@ -17,18 +23,21 @@ import (
 
 	"encore/internal/core"
 	"encore/internal/ir"
+	"encore/internal/obs"
 	"encore/internal/sfi"
 	"encore/internal/workload"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "", "benchmark (empty = all)")
-		trials  = flag.Int("trials", 300, "injections per benchmark")
-		dmax    = flag.Int64("dmax", 100, "maximum detection latency (instructions)")
-		seed    = flag.Uint64("seed", 1, "PRNG seed")
-		masking = flag.Bool("masking", false, "also run the raw-strike masking study")
-		workers = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)")
+		app      = flag.String("app", "", "benchmark (empty = all)")
+		trials   = flag.Int("trials", 300, "injections per benchmark")
+		dmax     = flag.Int64("dmax", 100, "maximum detection latency (instructions)")
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		masking  = flag.Bool("masking", false, "also run the raw-strike masking study")
+		workers  = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS; clamped to the trial count)")
+		progress = flag.Bool("progress", false, "report per-campaign trial progress on stderr")
+		metrics  = flag.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
 	)
 	flag.Parse()
 
@@ -42,6 +51,16 @@ func main() {
 		specs = []workload.Spec{sp}
 	}
 
+	reg := obs.Default()
+	// newProgress returns nil unless -progress is set; a nil *Progress
+	// no-ops, so the campaign code takes it unconditionally.
+	newProgress := func(label string, total int) *obs.Progress {
+		if !*progress {
+			return nil
+		}
+		return obs.NewProgress(os.Stderr, label, total, obs.DefaultProgressInterval)
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\trecovered\tbenign\tunrec\trec-wrong\tsdc\tcrash\tsame-inst\tmasked")
 	for _, sp := range specs {
@@ -52,19 +71,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "encore-sfi: %s: %v\n", sp.Name, err)
 			os.Exit(1)
 		}
+		prog := newProgress(sp.Name+" campaign", *trials)
 		camp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
 			Trials: *trials, Seed: *seed, Dmax: *dmax, Workers: *workers,
+			Obs: reg, Progress: prog,
 		})
+		prog.Finish()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "encore-sfi: %s: %v\n", sp.Name, err)
 			os.Exit(1)
 		}
 		maskStr := "-"
 		if *masking {
+			mprog := newProgress(sp.Name+" masking", *trials)
 			mres, err := sfi.MeasureMasking(func() (*ir.Module, []*ir.Global) {
 				a := sp.Build()
 				return a.Mod, a.Outputs
-			}, sfi.MaskingConfig{Trials: *trials, Seed: *seed, Workers: *workers})
+			}, sfi.MaskingConfig{
+				Trials: *trials, Seed: *seed, Workers: *workers,
+				Obs: reg, Progress: mprog,
+			})
+			mprog.Finish()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "encore-sfi: %s: %v\n", sp.Name, err)
 				os.Exit(1)
@@ -78,4 +105,8 @@ func main() {
 			camp.SameInstance, maskStr)
 	}
 	tw.Flush()
+	if err := obs.WriteMetrics(*metrics, reg); err != nil {
+		fmt.Fprintln(os.Stderr, "encore-sfi: metrics:", err)
+		os.Exit(1)
+	}
 }

@@ -5,8 +5,12 @@
 //
 //	encore [-app name] [-pmin p | -nopmin] [-gamma g] [-eta e]
 //	       [-budget b] [-alias static|optimistic] [-regions] [-ir]
+//	       [-metrics file|-]
 //
 // With no -app it reports a one-line summary for every benchmark.
+// -metrics writes the observability snapshot of the compiles (per-stage
+// spans, region-heuristic and interpreter counters; see DESIGN.md §9) as
+// JSON to the given file, or to stdout for "-".
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"encore/internal/idem"
 	"encore/internal/interp"
 	"encore/internal/ir"
+	"encore/internal/obs"
 	"encore/internal/workload"
 )
 
@@ -39,6 +44,7 @@ func main() {
 		file      = flag.String("file", "", "compile a textual IR module from a file instead of a benchmark")
 		jsonOut   = flag.Bool("json", false, "emit the per-app report as JSON")
 		traceN    = flag.Int64("trace", 0, "print the first N executed instructions of the instrumented binary")
+		metrics   = flag.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
 	)
 	flag.Parse()
 
@@ -46,6 +52,7 @@ func main() {
 		Pmin: *pmin, UsePmin: !*noPmin,
 		Gamma: *gamma, Eta: *eta, Budget: *budget,
 		Optimize: *optimize,
+		Obs:      obs.Default(),
 	}
 	switch *aliasMode {
 	case "static":
@@ -144,6 +151,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "encore:", err)
 			os.Exit(1)
 		}
+	}
+	if err := obs.WriteMetrics(*metrics, obs.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "encore: metrics:", err)
+		os.Exit(1)
 	}
 }
 

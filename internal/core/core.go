@@ -14,6 +14,7 @@ import (
 	"encore/internal/interp"
 	"encore/internal/ir"
 	"encore/internal/model"
+	"encore/internal/obs"
 	"encore/internal/opt"
 	"encore/internal/profile"
 	"encore/internal/region"
@@ -58,6 +59,13 @@ type Config struct {
 	// after the Optimize passes). Ignored in Profiled alias mode, which
 	// needs its own address-observation run regardless.
 	Profile *profile.Data
+
+	// Obs selects the metrics registry the compile reports into: stage
+	// spans under "compile/...", heuristic counters under "compile.*",
+	// and the interpreter counters of the profiling and measurement runs.
+	// Nil selects obs.Default(), so command-level -metrics dumps see
+	// every compile without explicit plumbing.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the paper's headline configuration: Pmin = 0.0,
@@ -93,31 +101,45 @@ type Result struct {
 
 // Compile runs the full pipeline on mod, instrumenting it in place.
 func Compile(mod *ir.Module, cfg Config) (*Result, error) {
+	reg := obs.Or(cfg.Obs)
+	reg.Counter("compile.runs").Inc()
+	root := reg.Span("compile")
+	defer root.End()
+
 	if err := mod.Verify(); err != nil {
 		return nil, fmt.Errorf("core: input module: %w", err)
 	}
 	if cfg.Optimize {
+		sp := root.Child("optimize")
 		opt.Optimize(mod)
+		sp.End()
 	}
+	ic := cfg.Interp
+	ic.Obs = reg
 	var prof *profile.Data
 	var addrs profile.AddrProfile
 	var err error
+	spProf := root.Child("profile")
 	switch {
 	case cfg.AliasMode == alias.Profiled:
-		prof, addrs, err = profile.CollectWithAddresses(mod, cfg.Interp)
+		prof, addrs, err = profile.CollectWithAddresses(mod, ic)
 	case cfg.Profile != nil:
 		prof = cfg.Profile
 	default:
-		prof, err = profile.Collect(mod, cfg.Interp)
+		prof, err = profile.Collect(mod, ic)
 	}
+	spProf.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	spAlias := root.Child("alias")
 	mi := alias.AnalyzeModule(mod)
 	if addrs != nil {
 		mi.AttachObservations(addrs)
 	}
+	spAlias.End()
 
+	spRegions := root.Child("regions")
 	var regions, candidates []*region.Region
 	for _, f := range mod.Funcs {
 		if len(f.Blocks) == 0 || f.Opaque {
@@ -127,7 +149,7 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 		if cfg.UsePmin {
 			env.WithProfile(prof.Freq, cfg.Pmin)
 		}
-		fin, cand := region.Form(f, env, prof, region.FormConfig{Eta: cfg.Eta})
+		fin, cand := region.Form(f, env, prof, region.FormConfig{Eta: cfg.Eta, Obs: reg})
 		regions = append(regions, fin...)
 		candidates = append(candidates, cand...)
 	}
@@ -135,18 +157,27 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	for i, r := range regions {
 		r.ID = i
 	}
+	spRegions.End()
+	recordClassCounts(reg, candidates, regions)
 
 	// Profiled mode: one conflict-observation run prunes checkpoint sets
 	// to the stores that dynamically violate idempotence.
 	if cfg.AliasMode == alias.Profiled {
-		if err := observeConflicts(mod, regions, cfg.Interp); err != nil {
+		spConf := root.Child("conflicts")
+		err := observeConflicts(mod, regions, ic)
+		spConf.End()
+		if err != nil {
 			return nil, fmt.Errorf("core: conflict profiling: %w", err)
 		}
 	}
 
-	est := region.Select(regions, prof, region.SelectConfig{Gamma: cfg.Gamma, Budget: cfg.Budget})
+	spSel := root.Child("select")
+	est := region.Select(regions, prof, region.SelectConfig{Gamma: cfg.Gamma, Budget: cfg.Budget, Obs: reg})
+	spSel.End()
 
+	spInstr := root.Child("instrument")
 	metas, stats, err := xform.Instrument(mod, regions)
+	spInstr.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -157,7 +188,9 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	}
 
 	// Measurement run on the instrumented module.
-	m := interp.New(mod, cfg.Interp)
+	spMeas := root.Child("measure")
+	defer spMeas.End()
+	m := interp.New(mod, ic)
 	defer m.Release()
 	m.SetRuntime(metas)
 	if _, err := m.Run(); err != nil {
@@ -172,6 +205,29 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	res.CkptMemBytes = m.CkptMemBytes
 	res.RegionEntries = m.RegionEntries
 	return res, nil
+}
+
+// recordClassCounts folds the idempotence breakdown of the candidate
+// regions and the Pmin pruning totals into the metrics registry.
+func recordClassCounts(reg *obs.Registry, candidates, regions []*region.Region) {
+	var idemN, nonIdem, unknown, pruned int64
+	for _, rg := range candidates {
+		switch rg.Analysis.Class {
+		case idem.Idempotent:
+			idemN++
+		case idem.NonIdempotent:
+			nonIdem++
+		default:
+			unknown++
+		}
+	}
+	for _, rg := range regions {
+		pruned += int64(rg.Analysis.PrunedBlocks)
+	}
+	reg.Add("compile.class.idempotent", idemN)
+	reg.Add("compile.class.nonidempotent", nonIdem)
+	reg.Add("compile.class.unknown", unknown)
+	reg.Add("compile.pmin.pruned_blocks", pruned)
 }
 
 // ClassCounts tallies regions by idempotence class (Figure 5's segments).

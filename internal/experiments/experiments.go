@@ -17,6 +17,7 @@ import (
 	"encore/internal/core"
 	"encore/internal/interp"
 	"encore/internal/ir"
+	"encore/internal/obs"
 	"encore/internal/profile"
 	"encore/internal/workload"
 )
@@ -187,7 +188,9 @@ func baselineProfile(sp workload.Spec) (*profile.Positional, error) {
 	profMu.Unlock()
 	e.once.Do(func() {
 		art := sp.Build()
-		d, err := profile.Collect(art.Mod, interp.Config{})
+		// The shared run reports into the default registry so -metrics
+		// sees the suite's baseline profiling work exactly once per app.
+		d, err := profile.Collect(art.Mod, interp.Config{Obs: obs.Default()})
 		if err != nil {
 			e.err = err
 			return

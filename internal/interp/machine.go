@@ -9,6 +9,21 @@
 // instrumentation pseudo-ops (SetRecovery/CkptReg/CkptMem/Restore) are
 // executed against per-region checkpoint buffers, mirroring the reserved
 // stack region the paper describes (§3.2).
+//
+// Execution is served by two interchangeable engines. The fast engine
+// (run.go) dispatches over a pre-decoded flat instruction stream
+// (decode.go) with all hot state in locals and no per-instruction hook,
+// fault, or metric checks; block and edge profiles are kept in dense
+// arrays indexed by pre-decoded IDs and folded into the Profile maps only
+// at loop exit. The reference engine (ref.go) walks the ir structures
+// directly, carries the full observation machinery (hooks, fault
+// injection, scheduled detection), and doubles as the semantic oracle:
+// the equivalence guard test pins the fast engine to it on every
+// workload. A run may hand control back and forth — the fast loop pauses
+// at the next pending fault event and resumes once the fault settles —
+// and the machine counts those handoffs. Observability likewise stays
+// off the hot path: a machine with an attached obs.Registry (AttachObs,
+// or Config.Obs) folds its counters in only at Reset/Release boundaries.
 package interp
 
 import (
@@ -17,6 +32,7 @@ import (
 	"sync"
 
 	"encore/internal/ir"
+	"encore/internal/obs"
 )
 
 // Trap classifications surfaced as errors from Run. Symptom-based
@@ -96,6 +112,12 @@ type Config struct {
 	// benchmarks to compare the pre-decoded fast path against the
 	// semantic oracle.
 	Reference bool
+
+	// Obs, when non-nil, attaches the machine to a metrics registry:
+	// execution, checkpoint-traffic, and engine-handoff counters are
+	// folded in at Reset/Release boundaries (never inside the dispatch
+	// loops). Equivalent to calling AttachObs after New.
+	Obs *obs.Registry
 }
 
 // Profile holds execution counts gathered during a run.
@@ -191,7 +213,96 @@ type Machine struct {
 	// actually cleared — observability for the dirty-range tests.
 	lastResetWords int64
 
+	// HandoffsToRef counts fast→reference engine handoffs (fault events
+	// and mid-fault symptom traps); HandoffsToFast counts the reference
+	// loop handing a settled fault back to the fast loop. Both reset with
+	// the machine and fold into an attached registry at flush boundaries.
+	HandoffsToRef, HandoffsToFast int64
+
+	obsSink *obsSink
+
 	regionFree []*regionState // recycled checkpoint buffers
+}
+
+// obsSink caches the registry handles one attached machine folds its
+// counters into, so a flush is a handful of atomic adds with no map
+// lookups.
+type obsSink struct {
+	reg           *obs.Registry
+	instrs        *obs.Counter
+	base          *obs.Counter
+	ckptReg       *obs.Counter
+	ckptMem       *obs.Counter
+	regionEntries *obs.Counter
+	toRef         *obs.Counter
+	toFast        *obs.Counter
+	blockExecs    *obs.Counter
+	edgeExecs     *obs.Counter
+	resetWords    *obs.Histogram
+}
+
+// AttachObs connects the machine to reg: from now on every Reset and the
+// final Release fold the machine's counters (dynamic instructions,
+// checkpoint bytes, region entries, engine handoffs, dense profile
+// totals) into the registry. Attaching flushes any counts pending for a
+// previously attached registry first; a nil reg detaches the same way.
+// The dispatch loops themselves are metric-free — this is the
+// Reset/completion-boundary folding DESIGN.md §9 describes.
+func (m *Machine) AttachObs(reg *obs.Registry) {
+	if m.obsSink != nil {
+		m.flushObs()
+	}
+	if reg == nil {
+		m.obsSink = nil
+		return
+	}
+	m.obsSink = &obsSink{
+		reg:           reg,
+		instrs:        reg.Counter("interp.instrs.total"),
+		base:          reg.Counter("interp.instrs.base"),
+		ckptReg:       reg.Counter("interp.ckpt.reg_bytes"),
+		ckptMem:       reg.Counter("interp.ckpt.mem_bytes"),
+		regionEntries: reg.Counter("interp.region.entries"),
+		toRef:         reg.Counter("interp.handoff.to_ref"),
+		toFast:        reg.Counter("interp.handoff.to_fast"),
+		blockExecs:    reg.Counter("interp.profile.block_execs"),
+		edgeExecs:     reg.Counter("interp.profile.edge_execs"),
+		resetWords:    reg.Histogram("interp.reset.words"),
+	}
+}
+
+// flushObs folds the machine's current counters into the attached
+// registry and zeroes the handoff counts (the others are zeroed by the
+// Reset that follows, or become dead on Release).
+func (m *Machine) flushObs() {
+	s := m.obsSink
+	if s == nil {
+		return
+	}
+	s.instrs.Add(m.Count)
+	s.base.Add(m.BaseCount)
+	s.ckptReg.Add(m.CkptRegBytes)
+	s.ckptMem.Add(m.CkptMemBytes)
+	s.regionEntries.Add(m.RegionEntries)
+	s.toRef.Add(m.HandoffsToRef)
+	s.toFast.Add(m.HandoffsToFast)
+	m.HandoffsToRef, m.HandoffsToFast = 0, 0
+	if m.Prof != nil {
+		var blocks, edges int64
+		for _, c := range m.Prof.Block {
+			blocks += c
+		}
+		for _, e := range m.Prof.Edge {
+			for _, c := range e {
+				edges += c
+			}
+		}
+		// The dense fast-path counters are already folded into the maps:
+		// every fast-loop exit runs fastFlush → mergeDense, which drains
+		// them, so the maps are authoritative at flush boundaries.
+		s.blockExecs.Add(blocks)
+		s.edgeExecs.Add(edges)
+	}
 }
 
 // noteDirty widens the dirty-memory watermark covering addr.
@@ -252,6 +363,8 @@ func grabMem(words int64) []int64 {
 // with custom externs keep their image out of the pool: extern handlers
 // can write memory the dirty watermarks never see.
 func (m *Machine) Release() {
+	m.flushObs()
+	m.obsSink = nil
 	if m.Mem != nil && m.Cfg.Externs == nil {
 		m.clearDirty(m.dirtyLo, m.dirtyHi)
 		m.clearDirty(m.dirtyStkLo, m.dirtyStkHi)
@@ -279,6 +392,9 @@ func New(mod *ir.Module, cfg Config) *Machine {
 		cfg.MemWords = mod.DataEnd() + cfg.StackWords + 1024
 	}
 	m := &Machine{Mod: mod, Cfg: cfg, regions: map[int]*RegionMeta{}}
+	if cfg.Obs != nil {
+		m.AttachObs(cfg.Obs)
+	}
 	m.Reset()
 	return m
 }
@@ -303,6 +419,9 @@ func (m *Machine) SetRuntime(metas []RegionMeta) {
 // write memory without the watermark seeing it, so machines with
 // Cfg.Externs fall back to a full clear.
 func (m *Machine) Reset() {
+	// Reset is a metrics boundary: fold the finished run's counters into
+	// the attached registry (if any) before they are cleared.
+	m.flushObs()
 	switch {
 	case m.Mem == nil || int64(len(m.Mem)) != m.Cfg.MemWords:
 		m.Mem = grabMem(m.Cfg.MemWords)
@@ -329,9 +448,13 @@ func (m *Machine) Reset() {
 		clear(m.pBlocks)
 		clear(m.pEdges)
 	}
+	if m.obsSink != nil {
+		m.obsSink.resetWords.Observe(m.lastResetWords)
+	}
 	m.Count, m.BaseCount = 0, 0
 	m.CkptRegBytes, m.CkptMemBytes, m.RegionEntries = 0, 0, 0
 	m.MaxBufferBytes = 0
+	m.HandoffsToRef, m.HandoffsToFast = 0, 0
 	m.instanceSeq = 0
 	m.frames = m.frames[:0]
 	m.sp = m.Cfg.MemWords - m.Cfg.StackWords

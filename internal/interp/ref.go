@@ -61,6 +61,7 @@ func (m *Machine) loopRefFrom(baseDepth int, b *ir.Block, idx int) (int64, error
 				}
 				m.pBlocks[p.blockOf[pc]]--
 			}
+			m.HandoffsToFast++
 			return m.loopFastFrom(baseDepth, pc)
 		}
 		if m.Count >= m.Cfg.MaxInstrs {

@@ -126,6 +126,7 @@ func (m *Machine) symptomHandoff(p *Program, baseDepth int, pc int32, count, bas
 	m.fault.detectAt = count
 	m.fastFlush(p, count, base, dLo, dHi, sLo, sHi)
 	m.framesToRef(p, baseDepth)
+	m.HandoffsToRef++
 	rb, ridx := p.refPos(pc)
 	return m.loopRefFrom(baseDepth, rb, ridx)
 }
@@ -217,6 +218,7 @@ func (m *Machine) loopFastFrom(baseDepth int, pc int32) (int64, error) {
 			// continue in the reference loop.
 			m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
 			m.framesToRef(p, baseDepth)
+			m.HandoffsToRef++
 			rb, ridx := p.refPos(pc)
 			return m.loopRefFrom(baseDepth, rb, ridx)
 		}

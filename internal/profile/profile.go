@@ -2,6 +2,16 @@
 // Encore's heuristics are profile-driven: Pmin pruning (§3.4.1), hot-path
 // coverage estimation, and the γ/η region-selection thresholds (§3.4.2)
 // all consume this data.
+//
+// Collection rides the interpreter's dense profiling design: the fast
+// engine counts blocks and edges in flat int64 arrays indexed by
+// pre-decoded IDs (no map operations on the hot path) and folds them
+// into the pointer-keyed Data maps only at loop exit; address-observing
+// collection (CollectWithAddresses) needs a per-instruction hook and so
+// runs on the reference engine instead. Profiles can be re-keyed
+// positionally (Positional/Materialize) to replay a run collected on one
+// deterministic build onto another build of the same program — the
+// experiment harness shares one baseline profiling run per app this way.
 package profile
 
 import (

@@ -14,6 +14,7 @@ import (
 	"encore/internal/cfg"
 	"encore/internal/idem"
 	"encore/internal/ir"
+	"encore/internal/obs"
 	"encore/internal/profile"
 )
 
@@ -149,6 +150,11 @@ func (r *Region) String() string {
 // FormConfig controls region formation.
 type FormConfig struct {
 	Eta float64 // merge threshold; <=0 disables the ΔCoverage/ΔCost gate
+
+	// Obs, when non-nil, receives formation metrics: interval/analysis
+	// span timings and the merge accept/reject/blocked counters under
+	// "compile.region.*". Nil records nothing.
+	Obs *obs.Registry
 }
 
 // Form builds the final region set for f: level-0 intervals, grown through
@@ -158,11 +164,20 @@ type FormConfig struct {
 // candidate recovery regions whose inherent idempotence paper Figure 5
 // reports.
 func Form(f *ir.Func, env *idem.Env, prof *profile.Data, cfgF FormConfig) (final, candidates []*Region) {
+	reg := cfgF.Obs
+	sp := reg.Span("compile/regions/intervals")
 	seq := cfg.IntervalSequence(f)
 	if len(seq) == 0 {
+		sp.End()
 		return nil, nil
 	}
 	lv := cfg.ComputeLiveness(f)
+	sp.End()
+	analyze := reg.Span("compile/regions/analyze")
+	defer analyze.End()
+	mergeOK := reg.Counter("compile.region.merge_approved")
+	mergeNo := reg.Counter("compile.region.merge_rejected")
+	mergeEntry := reg.Counter("compile.region.merge_blocked_entry")
 
 	build := func(iv *cfg.Interval) *Region {
 		blocks := make(map[*ir.Block]bool, len(iv.Blocks))
@@ -213,6 +228,7 @@ func Form(f *ir.Func, env *idem.Env, prof *profile.Data, cfgF FormConfig) (final
 				}
 			}
 			if !entryOK {
+				mergeEntry.Inc()
 				kept = append(kept, next)
 				continue
 			}
@@ -225,8 +241,10 @@ func Form(f *ir.Func, env *idem.Env, prof *profile.Data, cfgF FormConfig) (final
 			}
 			cand := newRegion(f, cur.Header, union, iv.Level, env, prof, lv)
 			if approveMerge(cand, []*Region{cur, next}, cfgF.Eta) {
+				mergeOK.Inc()
 				cur = cand
 			} else {
+				mergeNo.Inc()
 				kept = append(kept, next)
 			}
 		}
@@ -260,6 +278,8 @@ func Form(f *ir.Func, env *idem.Env, prof *profile.Data, cfgF FormConfig) (final
 	for i, r := range current {
 		r.ID = i
 	}
+	reg.Add("compile.region.candidates", int64(len(candidates)))
+	reg.Add("compile.region.final", int64(len(current)))
 	return current, candidates
 }
 
@@ -354,6 +374,10 @@ type SelectConfig struct {
 	// of the profiled baseline (the paper targets ~0.20). Zero means
 	// unlimited.
 	Budget float64
+
+	// Obs, when non-nil, receives the per-outcome selection counters
+	// under "compile.select.*". Nil records nothing.
+	Obs *obs.Registry
 }
 
 // Select marks the regions to instrument: all protectable regions pass
@@ -367,17 +391,21 @@ func Select(regions []*Region, prof *profile.Data, cfg SelectConfig) float64 {
 		ratio    float64
 		overhead int64
 	}
+	reg := cfg.Obs
 	var cands []cand
 	for _, r := range regions {
 		r.Selected = false
 		if !r.Protectable() {
+			reg.Add("compile.select.unprotectable", 1)
 			continue
 		}
 		if r.DynEntries == 0 && prof != nil {
+			reg.Add("compile.select.unexecuted", 1)
 			continue // never executed: no coverage to gain
 		}
 		ratio := r.Ratio()
 		if cfg.Gamma > 0 && ratio <= cfg.Gamma {
+			reg.Add("compile.select.rejected_gamma", 1)
 			continue
 		}
 		cands = append(cands, cand{r, ratio, r.EstOverheadInstrs(prof)})
@@ -399,10 +427,12 @@ func Select(regions []*Region, prof *profile.Data, cfg SelectConfig) float64 {
 	var spent int64
 	for _, c := range cands {
 		if spent+c.overhead > budgetInstrs {
+			reg.Add("compile.select.rejected_budget", 1)
 			continue
 		}
 		spent += c.overhead
 		c.r.Selected = true
+		reg.Add("compile.select.selected", 1)
 	}
 	if prof == nil || total == 0 {
 		return 0

@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"encore/internal/interp"
 	"encore/internal/ir"
+	"encore/internal/obs"
 )
 
 // rng is the deterministic generator for fault plans.
@@ -52,7 +54,15 @@ type MaskingConfig struct {
 	Seed          uint64
 	Bits          int     // datapath width to flip within (default 32)
 	LatchFraction float64 // 0 selects DefaultLatchFraction
-	Workers       int     // trial parallelism; 0 selects runtime.GOMAXPROCS(0)
+	Workers       int     // trial parallelism; normalized via ClampWorkers
+
+	// Obs selects the metrics registry for the "sfi/masking" span, the
+	// per-outcome counters, and worker throughput. Nil selects
+	// obs.Default().
+	Obs *obs.Registry
+	// Progress, when non-nil, is stepped once per completed trial. The
+	// caller owns it and calls Finish.
+	Progress *obs.Progress
 }
 
 // MaskingResult reports the masking study's outcome.
@@ -82,6 +92,10 @@ func MeasureMasking(build func() (*ir.Module, []*ir.Global), cfg MaskingConfig) 
 	if cfg.LatchFraction <= 0 {
 		cfg.LatchFraction = DefaultLatchFraction
 	}
+	cfg.Workers = ClampWorkers(cfg.Workers, cfg.Trials)
+	reg := obs.Or(cfg.Obs)
+	sp := reg.Span("sfi/masking")
+	defer sp.End()
 	mod, outs := build()
 	pool := newMachinePool(mod, nil)
 	m := pool.get()
@@ -108,7 +122,7 @@ func MeasureMasking(build func() (*ir.Module, []*ir.Global), cfg MaskingConfig) 
 		}
 	}
 	var mu sync.Mutex
-	runTrials(pool, len(plans), cfg.Workers, func(w *interp.Machine, t int) {
+	runTrials(pool, len(plans), cfg.Workers, reg, cfg.Progress, func(w *interp.Machine, t int) {
 		w.Reset()
 		w.InjectFault(plans[t])
 		_, err := w.Run()
@@ -132,6 +146,10 @@ func MeasureMasking(build func() (*ir.Module, []*ir.Global), cfg MaskingConfig) 
 	}
 	visible := (1 - res.ArchMaskedRate) * cfg.LatchFraction
 	res.MaskedRate = 1 - visible
+	reg.Add("sfi.masking.trials", int64(res.Trials))
+	reg.Add("sfi.masking.arch_masked", int64(res.ArchMasked))
+	reg.Add("sfi.masking.arch_visible", int64(res.ArchVisible))
+	reg.Add("sfi.masking.not_injected", int64(res.NotInjected))
 	return res, nil
 }
 
@@ -189,7 +207,15 @@ type CampaignConfig struct {
 	Seed    uint64
 	Bits    int   // datapath width (default 32)
 	Dmax    int64 // maximum detection latency, uniform [0, Dmax]
-	Workers int   // trial parallelism; 0 selects runtime.GOMAXPROCS(0)
+	Workers int   // trial parallelism; normalized via ClampWorkers
+
+	// Obs selects the metrics registry for the "sfi/campaign" span, the
+	// "sfi.outcome.*" counters, and worker throughput. Nil selects
+	// obs.Default().
+	Obs *obs.Registry
+	// Progress, when non-nil, is stepped once per completed trial. The
+	// caller owns it and calls Finish.
+	Progress *obs.Progress
 }
 
 // CampaignResult aggregates trial outcomes.
@@ -229,6 +255,10 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	if cfg.Bits <= 0 {
 		cfg.Bits = 32
 	}
+	cfg.Workers = ClampWorkers(cfg.Workers, cfg.Trials)
+	reg := obs.Or(cfg.Obs)
+	sp := reg.Span("sfi/campaign")
+	defer sp.End()
 	pool := newMachinePool(mod, metas)
 	m := pool.get()
 	if _, err := m.Run(); err != nil {
@@ -250,7 +280,7 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 		}
 	}
 	var mu sync.Mutex
-	runTrials(pool, len(plans), cfg.Workers, func(w *interp.Machine, t int) {
+	runTrials(pool, len(plans), cfg.Workers, reg, cfg.Progress, func(w *interp.Machine, t int) {
 		w.Reset()
 		w.InjectFault(plans[t])
 		_, err := w.Run()
@@ -281,6 +311,11 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 			}
 		}
 	})
+	for o := Outcome(0); o < numOutcomes; o++ {
+		reg.Add("sfi.outcome."+o.String(), int64(res.Counts[o]))
+	}
+	reg.Add("sfi.trials", int64(res.Trials))
+	reg.Add("sfi.recovered.same_instance", int64(res.SameInstance))
 	return res, nil
 }
 
@@ -311,12 +346,13 @@ func newMachinePool(mod *ir.Module, metas []interp.RegionMeta) *machinePool {
 func (p *machinePool) get() *interp.Machine  { return p.pool.Get().(*interp.Machine) }
 func (p *machinePool) put(w *interp.Machine) { p.pool.Put(w) }
 
-// runTrials executes fn over trial indices on a bounded worker pool, each
-// worker leasing a private machine (machines are not goroutine-safe).
-// Trial plans are pre-derived, so results are identical to the serial
-// order. workers <= 0 selects runtime.GOMAXPROCS(0); a single worker runs
-// inline with no goroutine or channel overhead.
-func runTrials(pool *machinePool, trials, workers int, fn func(w *interp.Machine, t int)) {
+// ClampWorkers normalizes a requested trial-parallelism value: zero or
+// negative selects runtime.GOMAXPROCS(0), a request above the trial count
+// is capped at it (extra workers would only idle), and the floor is one.
+// encore-sfi's -workers flag, the Workers config fields, and runTrials all
+// degrade through this one helper, so a pathological request behaves
+// exactly like the serial path instead of erroring or deadlocking.
+func ClampWorkers(workers, trials int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -326,12 +362,42 @@ func runTrials(pool *machinePool, trials, workers int, fn func(w *interp.Machine
 	if workers < 1 {
 		workers = 1
 	}
-	if workers == 1 {
+	return workers
+}
+
+// runTrials executes fn over trial indices on a bounded worker pool, each
+// worker leasing a private machine (machines are not goroutine-safe).
+// Trial plans are pre-derived, so results are identical to the serial
+// order. The worker count is normalized via ClampWorkers; a single worker
+// runs inline with no goroutine or channel overhead. Each worker's machine
+// reports into reg (folded at the Reset boundary between trials), its
+// end-of-run throughput lands in the "sfi.worker.trials_per_sec"
+// histogram, and prog (may be nil) is stepped once per completed trial.
+func runTrials(pool *machinePool, trials, workers int, reg *obs.Registry, prog *obs.Progress, fn func(w *interp.Machine, t int)) {
+	workers = ClampWorkers(workers, trials)
+	rate := reg.Histogram("sfi.worker.trials_per_sec")
+	runWorker := func(each func(func(t int))) {
 		w := pool.get()
-		for t := 0; t < trials; t++ {
+		w.AttachObs(reg)
+		start := time.Now()
+		n := 0
+		each(func(t int) {
 			fn(w, t)
+			prog.Step(1)
+			n++
+		})
+		if el := time.Since(start).Seconds(); el > 0 && n > 0 {
+			rate.Observe(int64(float64(n) / el))
 		}
+		w.AttachObs(nil)
 		pool.put(w)
+	}
+	if workers == 1 {
+		runWorker(func(run func(t int)) {
+			for t := 0; t < trials; t++ {
+				run(t)
+			}
+		})
 		return
 	}
 	idx := make(chan int, workers)
@@ -340,11 +406,11 @@ func runTrials(pool *machinePool, trials, workers int, fn func(w *interp.Machine
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := pool.get()
-			for t := range idx {
-				fn(w, t)
-			}
-			pool.put(w)
+			runWorker(func(run func(t int)) {
+				for t := range idx {
+					run(t)
+				}
+			})
 		}()
 	}
 	for t := 0; t < trials; t++ {

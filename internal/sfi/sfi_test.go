@@ -1,10 +1,12 @@
 package sfi
 
 import (
+	"runtime"
 	"testing"
 
 	"encore/internal/core"
 	"encore/internal/ir"
+	"encore/internal/obs"
 	"encore/internal/workload"
 )
 
@@ -131,5 +133,125 @@ func TestModelTracksMeasurement(t *testing.T) {
 				name, measured, predicted)
 		}
 		t.Logf("%s: predicted %.3f, measured %.3f", name, predicted, measured)
+	}
+}
+
+// TestClampWorkers pins the normalization contract shared by the -workers
+// flag and the Workers config fields.
+func TestClampWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		workers, trials, want int
+	}{
+		{0, 100, min(gmp, 100)},
+		{-7, 100, min(gmp, 100)},
+		{4, 100, 4},
+		{50, 10, 10}, // more workers than trials: capped
+		{-1, 0, 1},   // degenerate campaign: one worker floor
+		{1000, 1, 1},
+	}
+	for _, c := range cases {
+		if got := ClampWorkers(c.workers, c.trials); got != c.want {
+			t.Errorf("ClampWorkers(%d, %d) = %d, want %d", c.workers, c.trials, got, c.want)
+		}
+	}
+}
+
+// TestWorkersDegradeGracefully is the regression test for the clamping
+// bugfix: negative and absurdly large Workers requests must produce the
+// exact same campaign outcome as the serial path, not hang or error.
+// Trial plans are pre-derived from the seed, so the counts are
+// deterministic across worker counts.
+func TestWorkersDegradeGracefully(t *testing.T) {
+	sp, err := workload.ByName("rawcaudio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := sp.Build()
+	res, err := core.Compile(art.Mod, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(workers int) *CampaignResult {
+		t.Helper()
+		camp, err := RunCampaign(res.Mod, res.Metas, art.Outputs, CampaignConfig{
+			Trials: 60, Seed: 3, Dmax: 50, Workers: workers, Obs: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return camp
+	}
+	serial := runWith(1)
+	for _, w := range []int{-4, 0, 7, 6000} {
+		got := runWith(w)
+		if got.Counts != serial.Counts || got.SameInstance != serial.SameInstance {
+			t.Errorf("workers=%d: counts %v sameInst %d, want %v / %d",
+				w, got.Counts, got.SameInstance, serial.Counts, serial.SameInstance)
+		}
+	}
+
+	build, _ := buildOf(t, "rawcaudio")
+	maskWith := func(workers int) *MaskingResult {
+		t.Helper()
+		m, err := MeasureMasking(build, MaskingConfig{
+			Trials: 60, Seed: 3, Workers: workers, Obs: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatalf("masking workers=%d: %v", workers, err)
+		}
+		return m
+	}
+	mSerial := maskWith(1)
+	for _, w := range []int{-4, 6000} {
+		got := maskWith(w)
+		if *got != *mSerial {
+			t.Errorf("masking workers=%d: %+v, want %+v", w, got, mSerial)
+		}
+	}
+}
+
+// TestCampaignMetrics checks that a campaign folds its outcome counts and
+// worker throughput into the configured registry.
+func TestCampaignMetrics(t *testing.T) {
+	sp, err := workload.ByName("rawdaudio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := sp.Build()
+	res, err := core.Compile(art.Mod, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	camp, err := RunCampaign(res.Mod, res.Metas, art.Outputs, CampaignConfig{
+		Trials: 40, Seed: 11, Dmax: 80, Workers: 2, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sfi.trials").Value(); got != int64(camp.Trials) {
+		t.Errorf("sfi.trials = %d, want %d", got, camp.Trials)
+	}
+	if got := reg.Counter("sfi.outcome.recovered").Value(); got != int64(camp.Counts[Recovered]) {
+		t.Errorf("sfi.outcome.recovered = %d, want %d", got, camp.Counts[Recovered])
+	}
+	snap := reg.Snapshot()
+	var sawRate, sawSpan bool
+	for _, h := range snap.Histograms {
+		if h.Name == "sfi.worker.trials_per_sec" && h.Count > 0 {
+			sawRate = true
+		}
+	}
+	for _, s := range snap.Spans {
+		if s.Name == "sfi/campaign" && s.Count == 1 {
+			sawSpan = true
+		}
+	}
+	if !sawRate {
+		t.Error("missing sfi.worker.trials_per_sec histogram observations")
+	}
+	if !sawSpan {
+		t.Error("missing sfi/campaign span")
 	}
 }

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Repository health gate: formatting, vet, the full test suite, and the
-# race detector over the packages that run concurrent machinery (the SFI
-# trial pool and the experiments compile cache / worker pool).
+# Repository health gate: formatting, vet, doc-comment lint, the full
+# test suite, the race detector over the packages that run concurrent
+# machinery (the obs registry, the SFI trial pool, and the experiments
+# compile cache / worker pool), plus command smoke runs that exercise
+# the observability flags end to end.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -19,13 +21,45 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> doclint (package comments + internal/obs godoc)"
+go run scripts/doclint.go
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/sfi ./internal/experiments"
-go test -race ./internal/sfi ./internal/experiments
+echo "==> go test -race ./internal/obs ./internal/sfi ./internal/experiments"
+go test -race ./internal/obs ./internal/sfi ./internal/experiments
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> build command binaries"
+go build -o "$tmp/encore" ./cmd/encore
+go build -o "$tmp/encore-bench" ./cmd/encore-bench
+go build -o "$tmp/encore-sfi" ./cmd/encore-sfi
+
+echo "==> flag surface (-h must document the observability flags)"
+"$tmp/encore" -h 2>&1 | grep -q -- '-metrics' || { echo "encore -h: missing -metrics" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-metrics' || { echo "encore-sfi -h: missing -metrics" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-progress' || { echo "encore-sfi -h: missing -progress" >&2; exit 1; }
+"$tmp/encore-bench" -h 2>&1 | grep -q -- '-metrics' || { echo "encore-bench -h: missing -metrics" >&2; exit 1; }
+"$tmp/encore-bench" -h 2>&1 | grep -q -- '-cpuprofile' || { echo "encore-bench -h: missing -cpuprofile" >&2; exit 1; }
+"$tmp/encore-bench" -h 2>&1 | grep -q -- '-memprofile' || { echo "encore-bench -h: missing -memprofile" >&2; exit 1; }
+
+echo "==> smoke: encore"
+"$tmp/encore" -app rawcaudio -metrics "$tmp/encore.json" > /dev/null
+grep -q '"compile.runs"' "$tmp/encore.json" || { echo "encore -metrics: no compile.runs counter" >&2; exit 1; }
+
+echo "==> smoke: encore-sfi"
+"$tmp/encore-sfi" -app rawdaudio -trials 20 -progress -metrics "$tmp/sfi.json" > /dev/null 2>"$tmp/sfi.progress"
+grep -q '"sfi.trials"' "$tmp/sfi.json" || { echo "encore-sfi -metrics: no sfi.trials counter" >&2; exit 1; }
+grep -q 'campaign' "$tmp/sfi.progress" || { echo "encore-sfi -progress: no progress line on stderr" >&2; exit 1; }
+
+echo "==> smoke: encore-bench"
+"$tmp/encore-bench" -exp fig5 -apps rawcaudio,rawdaudio -quick -metrics "$tmp/bench.json" > /dev/null
+grep -q '"bench/fig5"' "$tmp/bench.json" || { echo "encore-bench -metrics: no bench/fig5 span" >&2; exit 1; }
 
 echo "OK"
