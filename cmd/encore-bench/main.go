@@ -4,7 +4,8 @@
 //
 //	encore-bench [-exp fig1|table1|fig5|fig6|fig7a|fig7b|fig8|all]
 //	             [-apps a,b,c] [-quick] [-table1-app name] [-json file]
-//	             [-metrics file|-] [-cpuprofile file] [-memprofile file]
+//	             [-metrics file|-] [-chrometrace file|-]
+//	             [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints the same rows/series as the corresponding paper
 // exhibit; see EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -13,7 +14,10 @@
 // With -metrics, the process-wide observability snapshot (per-stage
 // compile spans, heuristic counters, interpreter and SFI totals; see
 // DESIGN.md §9) is written as JSON to the given file, or to stdout for
-// "-". -cpuprofile and -memprofile write pprof profiles of the run.
+// "-". The -json report embeds the same snapshot under "metrics".
+// -chrometrace records per-experiment span timings and writes a
+// chrome://tracing JSON array to the given file. -cpuprofile and
+// -memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -48,6 +52,11 @@ type report struct {
 	Apps        []string    `json:"apps,omitempty"`
 	TotalWallMS float64     `json:"total_wall_ms"`
 	Experiments []expReport `json:"experiments"`
+
+	// Metrics embeds the end-of-run observability snapshot, so a single
+	// -json artifact carries results and the counters/spans behind them.
+	// The standalone -metrics flag still works independently.
+	Metrics *obs.Snapshot `json:"metrics"`
 }
 
 func main() {
@@ -71,6 +80,7 @@ func runBench(argv []string, stdout io.Writer) error {
 		t1app      = fs.String("table1-app", "175.vpr", "workload for the Table 1 comparison")
 		jsonPath   = fs.String("json", "", "write a JSON report (wall-clock + results) to this file")
 		metrics    = fs.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
+		chrome     = fs.String("chrometrace", "", "write a chrome://tracing span timeline to this file (- = stdout)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -131,6 +141,9 @@ func runBench(argv []string, stdout io.Writer) error {
 			"abl-eta", "abl-budget", "abl-signature", "abl-detector", "abl-input"}
 	}
 	reg := obs.Default()
+	if *chrome != "" {
+		reg.CaptureSpans(true)
+	}
 	rep := report{Quick: *quick, Apps: h.Apps}
 	total := time.Now()
 	for _, n := range names {
@@ -149,6 +162,7 @@ func runBench(argv []string, stdout io.Writer) error {
 		})
 	}
 	rep.TotalWallMS = float64(time.Since(total).Microseconds()) / 1000
+	rep.Metrics = reg.Snapshot()
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")
@@ -162,6 +176,9 @@ func runBench(argv []string, stdout io.Writer) error {
 	}
 	if err := obs.WriteMetricsTo(*metrics, reg, stdout); err != nil {
 		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := obs.WriteChromeTraceFileTo(*chrome, reg, stdout); err != nil {
+		return fmt.Errorf("chrometrace: %w", err)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

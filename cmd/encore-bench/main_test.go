@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,5 +61,50 @@ func TestMetricsJSON(t *testing.T) {
 		if !counters[want] {
 			t.Errorf("missing counter %q", want)
 		}
+	}
+}
+
+// TestJSONReportEmbedsMetrics checks the -json report carries the
+// observability snapshot under "metrics" (the standalone -metrics flag is
+// covered above).
+func TestJSONReportEmbedsMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rep.json")
+	var out bytes.Buffer
+	err := runBench([]string{"-exp", "table1", "-table1-app", "rawcaudio", "-quick", "-json", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Experiments []struct {
+			Name string `json:"name"`
+		} `json:"experiments"`
+		Metrics *struct {
+			Counters []struct {
+				Name  string `json:"name"`
+				Value int64  `json:"value"`
+			} `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "table1" {
+		t.Fatalf("unexpected experiments: %+v", rep.Experiments)
+	}
+	if rep.Metrics == nil || len(rep.Metrics.Counters) == 0 {
+		t.Fatal("report has no embedded metrics snapshot")
+	}
+	found := false
+	for _, c := range rep.Metrics.Counters {
+		if c.Name == "compile.runs" && c.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("embedded snapshot lacks a positive compile.runs counter")
 	}
 }

@@ -8,19 +8,37 @@
 //
 //	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking]
 //	           [-workers n] [-progress] [-metrics file|-]
+//	           [-trace file|-] [-chrometrace file|-]
+//	encore-sfi -report file|- [-json]
 //
 // -progress emits a rate-limited trial counter to stderr while a campaign
 // runs. -metrics writes the observability snapshot (compile spans, SFI
 // outcome counters, worker throughput; see DESIGN.md §9) as JSON to the
 // given file, or to stdout for "-".
+//
+// -trace streams the per-trial ledger (see DESIGN.md §10) as JSONL to the
+// given file: one campaign header line per app followed by one line per
+// trial, byte-identical across runs with the same -seed. With "-" the
+// ledger goes to stdout and the human outcome table moves to stderr so
+// the stream stays machine-clean.
+//
+// -report switches to attribution mode: instead of injecting, it ingests
+// a trace file ("-" = stdin) and prints per-region measured-vs-predicted
+// coverage tables (or a JSON report with -json).
+//
+// -chrometrace records span timings and writes a chrome://tracing JSON
+// array to the given file on exit.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
+	"encore/internal/attrib"
 	"encore/internal/core"
 	"encore/internal/ir"
 	"encore/internal/obs"
@@ -29,57 +47,105 @@ import (
 )
 
 func main() {
-	var (
-		app      = flag.String("app", "", "benchmark (empty = all)")
-		trials   = flag.Int("trials", 300, "injections per benchmark")
-		dmax     = flag.Int64("dmax", 100, "maximum detection latency (instructions)")
-		seed     = flag.Uint64("seed", 1, "PRNG seed")
-		masking  = flag.Bool("masking", false, "also run the raw-strike masking study")
-		workers  = flag.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS; clamped to the trial count)")
-		progress = flag.Bool("progress", false, "report per-campaign trial progress on stderr")
-		metrics  = flag.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
-	)
-	flag.Parse()
-
-	specs := workload.All()
-	if *app != "" {
-		sp, err := workload.ByName(*app)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "encore-sfi:", err)
-			os.Exit(2)
+	if err := runSFI(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
 		}
-		specs = []workload.Spec{sp}
+		fmt.Fprintln(os.Stderr, "encore-sfi:", err)
+		os.Exit(1)
+	}
+}
+
+// runSFI is the whole command behind a testable seam: flags come from
+// argv; tables, traces, and reports go to stdout, diagnostics and the
+// progress meter to stderr.
+func runSFI(argv []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("encore-sfi", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		app         = fs.String("app", "", "benchmark (empty = all)")
+		trials      = fs.Int("trials", 300, "injections per benchmark")
+		dmax        = fs.Int64("dmax", 100, "maximum detection latency (instructions)")
+		seed        = fs.Uint64("seed", 1, "PRNG seed")
+		masking     = fs.Bool("masking", false, "also run the raw-strike masking study")
+		workers     = fs.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS; clamped to the trial count)")
+		progress    = fs.Bool("progress", false, "report per-campaign trial progress on stderr")
+		metrics     = fs.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
+		tracePath   = fs.String("trace", "", "stream the per-trial JSONL ledger to this file (- = stdout)")
+		reportPath  = fs.String("report", "", "attribution mode: read a trace from this file (- = stdin) and report")
+		jsonOut     = fs.Bool("json", false, "with -report, emit the attribution report as JSON")
+		chrometrace = fs.String("chrometrace", "", "write a chrome://tracing span timeline to this file (- = stdout)")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *dmax < 0 {
+		return fmt.Errorf("-dmax %d is negative: detection latency is sampled uniformly from [0, dmax]", *dmax)
+	}
+
+	if *reportPath != "" {
+		return runReport(*reportPath, *jsonOut, stdout)
 	}
 
 	reg := obs.Default()
+	if *chrometrace != "" {
+		reg.CaptureSpans(true)
+	}
 	// newProgress returns nil unless -progress is set; a nil *Progress
 	// no-ops, so the campaign code takes it unconditionally.
 	newProgress := func(label string, total int) *obs.Progress {
 		if !*progress {
 			return nil
 		}
-		return obs.NewProgress(os.Stderr, label, total, obs.DefaultProgressInterval)
+		return obs.NewProgress(stderr, label, total, obs.DefaultProgressInterval)
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	specs := workload.All()
+	if *app != "" {
+		sp, err := workload.ByName(*app)
+		if err != nil {
+			return err
+		}
+		specs = []workload.Spec{sp}
+	}
+
+	// The human-readable outcome table normally goes to stdout; when the
+	// JSONL ledger claims stdout (-trace -), the table moves to stderr so
+	// the trace stream stays machine-clean and byte-deterministic.
+	var sink *obs.EventSink
+	tableOut := stdout
+	if *tracePath != "" {
+		if *tracePath == "-" {
+			sink = obs.NewJSONLSink(stdout)
+			tableOut = stderr
+		} else {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			defer f.Close()
+			sink = obs.NewJSONLSink(f)
+		}
+	}
+
+	tw := tabwriter.NewWriter(tableOut, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\trecovered\tbenign\tunrec\trec-wrong\tsdc\tcrash\tsame-inst\tmasked")
 	for _, sp := range specs {
 		sp := sp
 		art := sp.Build()
 		res, err := core.Compile(art.Mod, core.DefaultConfig())
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "encore-sfi: %s: %v\n", sp.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", sp.Name, err)
 		}
 		prog := newProgress(sp.Name+" campaign", *trials)
 		camp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
 			Trials: *trials, Seed: *seed, Dmax: *dmax, Workers: *workers,
 			Obs: reg, Progress: prog,
+			App: sp.Name, Regions: regionTable(res, *dmax), Trace: sink,
 		})
 		prog.Finish()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "encore-sfi: %s: %v\n", sp.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", sp.Name, err)
 		}
 		maskStr := "-"
 		if *masking {
@@ -93,8 +159,7 @@ func main() {
 			})
 			mprog.Finish()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "encore-sfi: %s: %v\n", sp.Name, err)
-				os.Exit(1)
+				return fmt.Errorf("%s: %w", sp.Name, err)
 			}
 			maskStr = fmt.Sprintf("%.1f%%", mres.MaskedRate*100)
 		}
@@ -105,8 +170,58 @@ func main() {
 			camp.SameInstance, maskStr)
 	}
 	tw.Flush()
-	if err := obs.WriteMetrics(*metrics, reg); err != nil {
-		fmt.Fprintln(os.Stderr, "encore-sfi: metrics:", err)
-		os.Exit(1)
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
 	}
+	if err := obs.WriteMetricsTo(*metrics, reg, tableOut); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := obs.WriteChromeTraceFileTo(*chrometrace, reg, tableOut); err != nil {
+		return fmt.Errorf("chrometrace: %w", err)
+	}
+	return nil
+}
+
+// regionTable converts a compile result's per-region coverage rows into
+// the ledger's prediction table.
+func regionTable(res *core.Result, dmax int64) []sfi.RegionInfo {
+	var out []sfi.RegionInfo
+	for _, rc := range res.RegionCoverages(float64(dmax)) {
+		out = append(out, sfi.RegionInfo{
+			ID: rc.ID, Fn: rc.Fn, Header: rc.Header, Class: rc.Class.String(),
+			Selected: rc.Selected, DynFrac: rc.DynFrac,
+			InstanceLen: rc.InstanceLen, Alpha: rc.Alpha,
+		})
+	}
+	return out
+}
+
+// runReport ingests a JSONL trial trace and writes the attribution report.
+func runReport(path string, jsonOut bool, stdout io.Writer) error {
+	var in io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	campaigns, err := attrib.ReadTrace(in)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if len(campaigns) == 0 {
+		return fmt.Errorf("report: trace holds no campaigns")
+	}
+	reps := make([]*attrib.Report, len(campaigns))
+	for i, c := range campaigns {
+		reps[i] = attrib.Attribute(c)
+	}
+	if jsonOut {
+		return attrib.WriteJSON(stdout, reps)
+	}
+	return attrib.WriteText(stdout, reps)
 }

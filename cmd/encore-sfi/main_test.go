@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNegativeDmaxRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := runSFI([]string{"-app", "rawcaudio", "-trials", "3", "-dmax", "-5"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("want a negative-dmax error, got %v", err)
+	}
+}
+
+// TestTraceStdoutDeterministic runs the command twice with the same seed
+// and requires byte-identical JSONL on stdout — the acceptance bar for
+// downstream tooling — with the human table diverted to stderr.
+func TestTraceStdoutDeterministic(t *testing.T) {
+	run := func() (string, string) {
+		var out, errOut bytes.Buffer
+		if err := runSFI([]string{"-app", "rawcaudio", "-trials", "8", "-seed", "1", "-trace", "-"}, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), errOut.String()
+	}
+	out1, tbl1 := run()
+	out2, _ := run()
+	if out1 != out2 {
+		t.Fatal("trace stdout differs across identical runs")
+	}
+	lines := strings.Split(strings.TrimRight(out1, "\n"), "\n")
+	if len(lines) != 1+8 {
+		t.Fatalf("got %d trace lines, want 1 header + 8 trials", len(lines))
+	}
+	for _, l := range lines {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatalf("non-JSON trace line %q: %v", l, err)
+		}
+	}
+	if !strings.Contains(tbl1, "recovered") {
+		t.Error("human table should have moved to stderr")
+	}
+	if strings.Contains(out1, "app\trecovered") {
+		t.Error("human table leaked into the JSONL stream")
+	}
+}
+
+// TestReportMode writes a trace to a file and feeds it back through
+// -report, checking the per-region measured-vs-predicted table.
+func TestReportMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out, errOut bytes.Buffer
+	if err := runSFI([]string{"-app", "g721encode", "-trials", "30", "-seed", "2", "-trace", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	if err := runSFI([]string{"-report", path}, &rep, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	text := rep.String()
+	for _, want := range []string{"app g721encode", "30 trials", "measured same-instance", "alpha", "|err|"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := runSFI([]string{"-report", path, "-json"}, &js, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	var reps []struct {
+		App          string  `json:"app"`
+		PredCoverage float64 `json:"pred_coverage"`
+		Regions      []struct {
+			Alpha  float64 `json:"alpha"`
+			AbsErr float64 `json:"abs_err"`
+		} `json:"regions"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &reps); err != nil {
+		t.Fatalf("JSON report: %v", err)
+	}
+	if len(reps) != 1 || reps[0].App != "g721encode" || len(reps[0].Regions) == 0 {
+		t.Fatalf("JSON report shape: %+v", reps)
+	}
+	if reps[0].PredCoverage <= 0 || reps[0].PredCoverage > 1 {
+		t.Errorf("implausible predicted coverage %g", reps[0].PredCoverage)
+	}
+}
+
+func TestReportModeErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runSFI([]string{"-report", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errOut); err == nil {
+		t.Error("missing trace file must error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSFI([]string{"-report", empty}, &out, &errOut); err == nil || !strings.Contains(err.Error(), "no campaigns") {
+		t.Errorf("empty trace: %v", err)
+	}
+}
+
+// TestChromeTraceFlag checks -chrometrace produces a well-formed
+// chrome://tracing array including the campaign span.
+func TestChromeTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.json")
+	var out, errOut bytes.Buffer
+	if err := runSFI([]string{"-app", "rawcaudio", "-trials", "3", "-chrometrace", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	found := false
+	for _, e := range events {
+		if e.Name == "sfi/campaign" && e.Ph == "X" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no sfi/campaign complete event in %s", data)
+	}
+}

@@ -5,12 +5,14 @@
 //
 //	encore [-app name] [-pmin p | -nopmin] [-gamma g] [-eta e]
 //	       [-budget b] [-alias static|optimistic] [-regions] [-ir]
-//	       [-metrics file|-]
+//	       [-metrics file|-] [-chrometrace file|-]
 //
 // With no -app it reports a one-line summary for every benchmark.
 // -metrics writes the observability snapshot of the compiles (per-stage
 // spans, region-heuristic and interpreter counters; see DESIGN.md §9) as
-// JSON to the given file, or to stdout for "-".
+// JSON to the given file, or to stdout for "-". -chrometrace records the
+// compile-stage span timeline and writes a chrome://tracing JSON array to
+// the given file.
 package main
 
 import (
@@ -45,8 +47,12 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the per-app report as JSON")
 		traceN    = flag.Int64("trace", 0, "print the first N executed instructions of the instrumented binary")
 		metrics   = flag.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
+		chrome    = flag.String("chrometrace", "", "write a chrome://tracing span timeline to this file (- = stdout)")
 	)
 	flag.Parse()
+	if *chrome != "" {
+		obs.Default().CaptureSpans(true)
+	}
 
 	cfg := core.Config{
 		Pmin: *pmin, UsePmin: !*noPmin,
@@ -154,6 +160,10 @@ func main() {
 	}
 	if err := obs.WriteMetrics(*metrics, obs.Default()); err != nil {
 		fmt.Fprintln(os.Stderr, "encore: metrics:", err)
+		os.Exit(1)
+	}
+	if err := obs.WriteChromeTraceFile(*chrome, obs.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "encore: chrometrace:", err)
 		os.Exit(1)
 	}
 }

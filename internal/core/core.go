@@ -306,6 +306,51 @@ type Coverage struct {
 	NotRecov  float64
 }
 
+// RegionCoverage is one formed region's row in the Equation-7 coverage
+// model at a fixed detection-latency bound: its identity, idempotence
+// class, share of baseline execution time, mean instance length, and the
+// analytical per-region recovery probability α. This is the prediction
+// side of the SFI attribution join (internal/attrib): a campaign's
+// measured per-region recovery rates are compared against these rows.
+type RegionCoverage struct {
+	ID       int
+	Fn       string
+	Header   string
+	Class    idem.Class
+	Selected bool
+	// DynFrac is the region's share of baseline dynamic instructions —
+	// under the uniform fault-site model, the probability a fault lands
+	// in it.
+	DynFrac float64
+	// InstanceLen is the mean dynamic length of one region instance (the
+	// n Equation 7's α scales by).
+	InstanceLen float64
+	// Alpha is model.Alpha(InstanceLen, dmax): the probability a fault
+	// striking inside the region is detected before control leaves it.
+	Alpha float64
+}
+
+// RegionCoverages evaluates the α model for every formed region
+// (selected or not) at the given detection-latency bound, in region-ID
+// order.
+func (r *Result) RegionCoverages(dmax float64) []RegionCoverage {
+	total := float64(r.Prof.Total)
+	out := make([]RegionCoverage, 0, len(r.Regions))
+	for _, rg := range r.Regions {
+		rc := RegionCoverage{
+			ID: rg.ID, Fn: rg.Fn.Name, Header: rg.Header.Name,
+			Class: rg.Analysis.Class, Selected: rg.Selected,
+			InstanceLen: rg.InstanceLen(),
+			Alpha:       model.Alpha(rg.InstanceLen(), dmax),
+		}
+		if total > 0 {
+			rc.DynFrac = float64(rg.DynInstrs) / total
+		}
+		out = append(out, rc)
+	}
+	return out
+}
+
 // RecoverableCoverage applies the Equation-7 α model to the selected
 // regions: a fault is recoverable when it strikes inside a protected
 // region and is detected before control leaves it. Fault sites are
@@ -313,21 +358,18 @@ type Coverage struct {
 // of execution time.
 func (r *Result) RecoverableCoverage(dmax float64) Coverage {
 	cov := Coverage{Dmax: dmax}
-	total := float64(r.Prof.Total)
-	if total == 0 {
+	if r.Prof.Total == 0 {
 		cov.NotRecov = 1
 		return cov
 	}
-	for _, rg := range r.Regions {
-		if !rg.Selected || rg.DynInstrs == 0 {
+	for _, rc := range r.RegionCoverages(dmax) {
+		if !rc.Selected || rc.DynFrac == 0 {
 			continue
 		}
-		frac := float64(rg.DynInstrs) / total
-		a := model.Alpha(rg.InstanceLen(), dmax)
-		if rg.Analysis.Class == idem.Idempotent {
-			cov.RecovIdem += frac * a
+		if rc.Class == idem.Idempotent {
+			cov.RecovIdem += rc.DynFrac * rc.Alpha
 		} else {
-			cov.RecovCkpt += frac * a
+			cov.RecovCkpt += rc.DynFrac * rc.Alpha
 		}
 	}
 	cov.NotRecov = 1 - cov.RecovIdem - cov.RecovCkpt

@@ -64,6 +64,20 @@ type FaultReport struct {
 	TargetRegion int   // region id rolled back to; -1 if none
 	Unwound      int   // call frames discarded to reach the region's frame
 	Rollbacks    int64 // total rollbacks performed (re-detections cannot occur; stays <=1)
+
+	// DetectRegionID / DetectInstance identify the region instance the
+	// recovery pointer named when the detector fired (the paper's
+	// dedicated recovery-address cell) — the region "at detection", which
+	// differs from the injection site's region when the fault propagated
+	// across a region boundary before the symptom surfaced. -1 / 0 when
+	// no live region existed at detection.
+	DetectRegionID int
+	DetectInstance int64
+	// RollbackDistance is the dynamic instruction distance from the
+	// rollback target instance's SetRecovery to the detection point —
+	// the work a rollback discards and must re-execute. 0 when no
+	// rollback happened.
+	RollbackDistance int64
 }
 
 type faultState struct {
@@ -80,6 +94,7 @@ func (m *Machine) InjectFault(p FaultPlan) {
 	m.fault = &faultState{plan: p, detectAt: 1<<62 - 1}
 	m.fault.report.Site.RegionID = -1
 	m.fault.report.TargetRegion = -1
+	m.fault.report.DetectRegionID = -1
 }
 
 // FaultReport returns the report for the most recent armed fault (zero
@@ -163,6 +178,10 @@ func (m *Machine) detect() (*ir.Block, int, bool) {
 	f.report.DetectCount = m.Count
 
 	target := m.lastRegion()
+	if target != nil && target.meta != nil {
+		f.report.DetectRegionID = target.meta.ID
+		f.report.DetectInstance = target.instance
+	}
 	if target == nil || target.meta == nil || target.meta.Recovery == nil {
 		return nil, 0, false
 	}
@@ -182,5 +201,6 @@ func (m *Machine) detect() (*ir.Block, int, bool) {
 	f.report.Rollbacks++
 	f.report.TargetRegion = target.meta.ID
 	f.report.SameInstance = f.injected && target.instance == f.report.Site.Instance
+	f.report.RollbackDistance = m.Count - target.entryCount
 	return target.meta.Recovery, 0, true
 }

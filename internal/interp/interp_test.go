@@ -295,6 +295,65 @@ func TestFaultRollbackRestoresState(t *testing.T) {
 	}
 }
 
+func TestFaultRollbackDistanceAndDetectRegion(t *testing.T) {
+	// The header executes SetRecovery (count 1) then five more retired
+	// slots before the Const the fault corrupts at count 7; zero latency
+	// detects there, so the rollback discards exactly 7-1 = 6 dynamic
+	// instructions and targets the same live region instance.
+	mod, _, metas := buildCkptFunc()
+	mach := New(mod, Config{})
+	mach.SetRuntime(metas)
+	mach.InjectFault(FaultPlan{Mode: CorruptOutput, InjectAt: 7, Bit: 3, DetectLatency: 0})
+	if _, err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := mach.FaultReport()
+	if !rep.RolledBack {
+		t.Fatalf("fault not rolled back: %+v", rep)
+	}
+	if rep.DetectRegionID != 7 {
+		t.Errorf("DetectRegionID = %d, want 7", rep.DetectRegionID)
+	}
+	if rep.DetectInstance != rep.Site.Instance {
+		t.Errorf("DetectInstance = %d, Site.Instance = %d: same-instance rollback must agree",
+			rep.DetectInstance, rep.Site.Instance)
+	}
+	if rep.RollbackDistance != rep.DetectCount-1 {
+		t.Errorf("RollbackDistance = %d, want DetectCount-entry = %d",
+			rep.RollbackDistance, rep.DetectCount-1)
+	}
+	if rep.RollbackDistance != 6 {
+		t.Errorf("RollbackDistance = %d, want 6", rep.RollbackDistance)
+	}
+}
+
+func TestFaultDetectFieldsWithoutTarget(t *testing.T) {
+	// No region is live at detection: DetectRegionID stays -1 and no
+	// rollback distance is reported.
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	v := f.NewReg()
+	b.Const(v, 1)
+	for i := 0; i < 20; i++ {
+		b.AddI(v, v, 1)
+	}
+	b.Ret(v)
+	f.Recompute()
+	mach := New(m, Config{})
+	mach.InjectFault(FaultPlan{Mode: CorruptOutput, InjectAt: 5, Bit: 1, DetectLatency: 2})
+	if _, err := mach.Run(); !errors.Is(err, ErrDetectedUnrecoverable) {
+		t.Fatalf("want ErrDetectedUnrecoverable, got %v", err)
+	}
+	rep := mach.FaultReport()
+	if rep.DetectRegionID != -1 || rep.DetectInstance != 0 {
+		t.Errorf("detect region = %d/%d, want -1/0", rep.DetectRegionID, rep.DetectInstance)
+	}
+	if rep.RollbackDistance != 0 {
+		t.Errorf("RollbackDistance = %d without rollback", rep.RollbackDistance)
+	}
+}
+
 func TestFaultWithoutRecoveryTarget(t *testing.T) {
 	m := ir.NewModule("t")
 	f := m.NewFunc("main", 0)

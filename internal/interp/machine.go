@@ -94,6 +94,10 @@ type regionState struct {
 	bytes    int64 // buffer bytes this instance has accumulated
 	instance int64 // global SetRecovery sequence number
 	frame    int   // frame depth at which the region was entered
+	// entryCount is the dynamic instruction count at the instance's
+	// SetRecovery, so a rollback can report how many instructions it
+	// discards (FaultReport.RollbackDistance).
+	entryCount int64
 }
 
 // Config parametrizes a machine.

@@ -244,6 +244,7 @@ func (m *Machine) loopRefFrom(baseDepth int, b *ir.Block, idx int) (int64, error
 				rs.meta = meta
 				rs.instance = m.instanceSeq
 				rs.frame = len(m.frames) - 1
+				rs.entryCount = m.Count
 				fr.region = rs
 			case ir.OpCkptReg:
 				if fr.region != nil {

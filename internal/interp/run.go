@@ -390,6 +390,7 @@ func (m *Machine) loopFastFrom(baseDepth int, pc int32) (int64, error) {
 			rs.meta = meta
 			rs.instance = m.instanceSeq
 			rs.frame = len(m.frames) - 1
+			rs.entryCount = count
 			fr.region = rs
 		case uint8(ir.OpCkptReg):
 			ovh++

@@ -26,6 +26,34 @@ func Alpha(n, dmax float64) float64 {
 	return n / (2 * dmax)
 }
 
+// AlphaEmpirical estimates α for a region whose instances run n dynamic
+// instructions, conditioning on an empirical sample of detection
+// latencies instead of an assumed latency density. Under the uniform
+// fault-site model g(s) = 1/n on [0, n], a fault with latency l is
+// detected in-region iff s + l < n, which happens with probability
+// max(0, (n-l)/n); the estimate averages that over the sample.
+//
+// This is the per-region prediction the SFI attribution layer uses: the
+// latencies actually drawn for the trials that struck a region replace
+// Equation 7's closed-form f(l), removing the latency distribution as a
+// source of measured-vs-predicted error. With latencies drawn uniformly
+// from [0, Dmax] it converges to Alpha(n, Dmax).
+func AlphaEmpirical(n float64, latencies []float64) float64 {
+	if n <= 0 || len(latencies) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, l := range latencies {
+		if l < 0 {
+			l = 0
+		}
+		if l < n {
+			total += (n - l) / n
+		}
+	}
+	return total / float64(len(latencies))
+}
+
 // Density is a probability density on [0, Max].
 type Density interface {
 	// PDF evaluates the density at x.

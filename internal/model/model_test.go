@@ -51,6 +51,46 @@ func TestAlphaProperties(t *testing.T) {
 	}
 }
 
+func TestAlphaEmpirical(t *testing.T) {
+	// Exact small cases: P(detected in-region | l) = max(0, (n-l)/n).
+	if got := AlphaEmpirical(100, []float64{0}); got != 1 {
+		t.Errorf("zero-latency sample = %g, want 1", got)
+	}
+	if got := AlphaEmpirical(100, []float64{50}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("half-length latency = %g, want 0.5", got)
+	}
+	if got := AlphaEmpirical(100, []float64{200}); got != 0 {
+		t.Errorf("latency beyond region = %g, want 0", got)
+	}
+	if got := AlphaEmpirical(100, []float64{0, 50, 200}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mixed sample = %g, want 0.5", got)
+	}
+	// Degenerate inputs.
+	if AlphaEmpirical(0, []float64{1}) != 0 || AlphaEmpirical(100, nil) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+	if got := AlphaEmpirical(100, []float64{-5}); got != 1 {
+		t.Errorf("negative latency clamps to 0: got %g, want 1", got)
+	}
+}
+
+func TestAlphaEmpiricalConvergesToUniform(t *testing.T) {
+	// A dense uniform grid of latencies over [0, Dmax] must reproduce the
+	// Equation-7 closed form on both branches.
+	for _, c := range []struct{ n, d float64 }{{1000, 100}, {50, 100}, {300, 300}} {
+		k := 20000
+		lat := make([]float64, k)
+		for i := range lat {
+			lat[i] = (float64(i) + 0.5) * c.d / float64(k)
+		}
+		want := Alpha(c.n, c.d)
+		got := AlphaEmpirical(c.n, lat)
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("AlphaEmpirical(n=%g, uniform D=%g) = %.5f, closed form %.5f", c.n, c.d, got, want)
+		}
+	}
+}
+
 func TestAlphaNumericMatchesClosedForm(t *testing.T) {
 	for _, c := range []struct{ n, d float64 }{
 		{1000, 100}, {100, 1000}, {500, 500}, {20, 100}, {5000, 10},

@@ -136,6 +136,11 @@ type Registry struct {
 	counters map[string]*Counter
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
+
+	// Span-event capture for Chrome trace export (see chrometrace.go):
+	// off by default, toggled by CaptureSpans.
+	captureSpans bool
+	spanEvents   []SpanEvent
 }
 
 // NewRegistry returns an empty registry.
@@ -212,6 +217,7 @@ func (r *Registry) Reset() {
 	r.counters = map[string]*Counter{}
 	r.hists = map[string]*Histogram{}
 	r.spans = map[string]*spanStat{}
+	r.spanEvents = nil
 }
 
 // sortedKeys returns the map's keys in sorted order.

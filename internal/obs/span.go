@@ -52,12 +52,15 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	s.reg.recordSpan(s.path, time.Since(s.start))
+	s.reg.recordSpan(s.path, s.start, time.Since(s.start))
 }
 
-func (r *Registry) recordSpan(path string, d time.Duration) {
+func (r *Registry) recordSpan(path string, start time.Time, d time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.captureSpans {
+		r.spanEvents = append(r.spanEvents, SpanEvent{Path: path, Start: start, Dur: d})
+	}
 	st := r.spans[path]
 	if st == nil {
 		st = &spanStat{min: d, max: d}

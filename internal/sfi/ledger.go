@@ -1,0 +1,167 @@
+package sfi
+
+import (
+	"encore/internal/interp"
+)
+
+// Trace-envelope type tags: every line of a campaign trace is a JSON
+// object whose "type" field selects the payload shape.
+const (
+	// TraceCampaign tags the per-campaign header record (CampaignMeta).
+	TraceCampaign = "campaign"
+	// TraceTrial tags one per-trial ledger record (TrialRecord).
+	TraceTrial = "trial"
+)
+
+// RegionInfo describes one compiled region to the trial ledger: identity,
+// idempotence class, and the analytical prediction inputs (execution-time
+// share, mean instance length, and the Equation-7 α at the campaign's
+// Dmax). It is the join key between a campaign's measured outcomes and
+// the model's predictions; cmd/encore-sfi builds these rows from
+// core.Result.RegionCoverages.
+type RegionInfo struct {
+	ID          int     `json:"id"`
+	Fn          string  `json:"fn"`
+	Header      string  `json:"header"`
+	Class       string  `json:"class"`
+	Selected    bool    `json:"selected"`
+	DynFrac     float64 `json:"dyn_frac"`
+	InstanceLen float64 `json:"instance_len"`
+	Alpha       float64 `json:"alpha"`
+}
+
+// CampaignMeta is the header record of one campaign's trace: the
+// configuration that makes the trial stream reproducible (seed, Dmax,
+// bits), the golden run's dynamic length, the app-level analytical
+// coverage prediction, and the per-region prediction table the report
+// layer joins trials against.
+type CampaignMeta struct {
+	App          string       `json:"app"`
+	Trials       int          `json:"trials"`
+	Seed         uint64       `json:"seed"`
+	Dmax         int64        `json:"dmax"`
+	Bits         int          `json:"bits"`
+	GoldenInstrs int64        `json:"golden_instrs"`
+	PredCoverage float64      `json:"pred_coverage"`
+	Regions      []RegionInfo `json:"regions"`
+}
+
+// TrialRecord is one campaign trial's ledger entry: where the fault
+// landed (site, owning region instance, idempotence class), how far it
+// propagated before the detector fired, what the rollback cost (distance
+// discarded, frames unwound, re-executed instructions), and the final
+// outcome. Records are emitted in trial order and are deterministic
+// given the campaign seed, so a trace is byte-identical across runs.
+type TrialRecord struct {
+	Trial    int   `json:"trial"`
+	InjectAt int64 `json:"inject_at"`
+	Bit      int   `json:"bit"`
+	Latency  int64 `json:"latency"` // sampled detection latency (instructions)
+
+	Injected bool   `json:"injected"`
+	Fn       string `json:"fn"`        // function containing the injection site
+	Block    string `json:"block"`     // basic block of the injection site
+	Index    int    `json:"index"`     // instruction index within the block
+	Count    int64  `json:"count"`     // dynamic instruction count at injection
+	IsMem    bool   `json:"is_mem"`    // a stored memory word was corrupted
+	MemAddr  int64  `json:"mem_addr"`  // corrupted address when is_mem
+	Reg      int    `json:"reg"`       // corrupted register otherwise
+	RegionID int    `json:"region_id"` // region owning the site (-1 unprotected)
+	Instance int64  `json:"instance"`  // region instance sequence number (0 none)
+	Class    string `json:"class"`     // idempotence class of the owning region
+
+	Detected       bool  `json:"detected"`
+	DetectCount    int64 `json:"detect_count"`     // dynamic count at detection
+	Propagated     int64 `json:"propagated"`       // instructions between injection and detection
+	DetectRegionID int   `json:"detect_region_id"` // region live at detection (-1 none)
+
+	RolledBack       bool  `json:"rolled_back"`
+	SameInstance     bool  `json:"same_instance"`     // rollback reached the struck instance
+	TargetRegion     int   `json:"target_region"`     // region rolled back to (-1 none)
+	Unwound          int   `json:"unwound"`           // call frames discarded by the rollback
+	RollbackDistance int64 `json:"rollback_distance"` // instructions discarded by the rollback
+	ReExecInstrs     int64 `json:"reexec_instrs"`     // extra instructions vs the golden run
+
+	Outcome Outcome `json:"outcome"`
+}
+
+// CampaignEnvelope is the JSONL wire form of a campaign header line.
+type CampaignEnvelope struct {
+	Type string `json:"type"` // TraceCampaign
+	CampaignMeta
+}
+
+// TrialEnvelope is the JSONL wire form of one trial line.
+type TrialEnvelope struct {
+	Type string `json:"type"` // TraceTrial
+	TrialRecord
+}
+
+// classify maps one trial's fault report, run error, and golden-checksum
+// match to its Outcome. RunCampaign's counters and the trial ledger both
+// derive from this single function so they cannot diverge.
+func classify(rep interp.FaultReport, err error, match bool) Outcome {
+	switch {
+	case !rep.Injected:
+		return NotInjected
+	case err == interp.ErrDetectedUnrecoverable:
+		return DetectedUnrecoverable
+	case err != nil:
+		return Crashed
+	case match:
+		if rep.RolledBack {
+			return Recovered
+		}
+		return Benign
+	case rep.RolledBack:
+		return RecoveredWrong
+	default:
+		return SilentCorruption
+	}
+}
+
+// makeRecord assembles one trial's ledger entry from its plan, fault
+// report, and classification. goldenInstrs is the fault-free dynamic
+// length; finalInstrs the trial run's, so completed runs report the
+// re-execution surcharge recovery added. classOf joins the site's owning
+// region to its idempotence class.
+func makeRecord(t int, plan interp.FaultPlan, rep interp.FaultReport, o Outcome,
+	runErr error, goldenInstrs, finalInstrs int64, classOf map[int]string) TrialRecord {
+	rec := TrialRecord{
+		Trial:    t,
+		InjectAt: plan.InjectAt,
+		Bit:      int(plan.Bit),
+		Latency:  plan.DetectLatency,
+		Injected: rep.Injected,
+		RegionID: -1,
+		Instance: rep.Site.Instance,
+		Detected: rep.Detected,
+
+		DetectRegionID: rep.DetectRegionID,
+		RolledBack:     rep.RolledBack,
+		SameInstance:   rep.SameInstance,
+		TargetRegion:   rep.TargetRegion,
+		Unwound:        rep.Unwound,
+		Outcome:        o,
+	}
+	if rep.Injected {
+		rec.Fn = rep.Site.Fn.Name
+		rec.Block = rep.Site.Block.Name
+		rec.Index = rep.Site.Index
+		rec.Count = rep.Site.Count
+		rec.IsMem = rep.Site.IsMem
+		rec.MemAddr = rep.Site.MemAddr
+		rec.Reg = int(rep.Site.Reg)
+		rec.RegionID = rep.Site.RegionID
+		rec.Class = classOf[rep.Site.RegionID]
+	}
+	if rep.Detected {
+		rec.DetectCount = rep.DetectCount
+		rec.Propagated = rep.DetectCount - rep.Site.Count
+		rec.RollbackDistance = rep.RollbackDistance
+	}
+	if runErr == nil {
+		rec.ReExecInstrs = finalInstrs - goldenInstrs
+	}
+	return rec
+}

@@ -200,6 +200,30 @@ func (o Outcome) String() string {
 	return "?"
 }
 
+// MarshalText implements encoding.TextMarshaler with the String names, so
+// trace JSONL and report JSON carry stable outcome words rather than enum
+// ordinals. Marshaling an out-of-range outcome is an error.
+func (o Outcome) MarshalText() ([]byte, error) {
+	s := o.String()
+	if s == "?" {
+		return nil, fmt.Errorf("sfi: cannot marshal invalid outcome %d", uint8(o))
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting exactly the
+// names String produces.
+func (o *Outcome) UnmarshalText(text []byte) error {
+	name := string(text)
+	for c := Outcome(0); c < numOutcomes; c++ {
+		if c.String() == name {
+			*o = c
+			return nil
+		}
+	}
+	return fmt.Errorf("sfi: unknown outcome %q", name)
+}
+
 // CampaignConfig parametrizes an end-to-end injection campaign against an
 // instrumented module.
 type CampaignConfig struct {
@@ -216,6 +240,22 @@ type CampaignConfig struct {
 	// Progress, when non-nil, is stepped once per completed trial. The
 	// caller owns it and calls Finish.
 	Progress *obs.Progress
+
+	// App labels the campaign in the trace ledger's header record.
+	App string
+	// Regions is the per-region prediction table joined into the ledger
+	// (idempotence class at the injection site, α predictions in the
+	// header record). Optional; without it site regions carry no class.
+	Regions []RegionInfo
+	// Trace, when non-nil, receives one CampaignEnvelope followed by
+	// exactly Trials TrialEnvelope records in trial order after the
+	// campaign finishes — the stream is deterministic given Seed
+	// regardless of Workers. The trial loop itself only fills a
+	// preallocated slice, so tracing adds no per-trial allocation there.
+	Trace *obs.EventSink
+	// Ledger retains the per-trial records in CampaignResult.Records even
+	// when no Trace sink is attached (for in-process attribution).
+	Ledger bool
 }
 
 // CampaignResult aggregates trial outcomes.
@@ -227,6 +267,12 @@ type CampaignResult struct {
 	// very region instance the fault struck (the case the paper's α model
 	// credits).
 	SameInstance int
+
+	// Meta echoes the campaign's ledger header when the trial ledger was
+	// enabled (Trace sink or Ledger flag), and Records holds the
+	// per-trial entries in trial order.
+	Meta    *CampaignMeta
+	Records []TrialRecord
 }
 
 // Rate returns the fraction of injected trials with the given outcome.
@@ -255,6 +301,9 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	if cfg.Bits <= 0 {
 		cfg.Bits = 32
 	}
+	if cfg.Dmax < 0 {
+		return nil, fmt.Errorf("sfi: negative Dmax %d (latency is sampled uniformly from [0, Dmax])", cfg.Dmax)
+	}
 	cfg.Workers = ClampWorkers(cfg.Workers, cfg.Trials)
 	reg := obs.Or(cfg.Obs)
 	sp := reg.Span("sfi/campaign")
@@ -279,38 +328,55 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 			DetectLatency: r.intn(cfg.Dmax + 1),
 		}
 	}
+	// Trial ledger: records are filled by trial index (not completion
+	// order) into a preallocated slice, so the emitted stream is
+	// deterministic given the seed regardless of worker interleaving.
+	ledger := cfg.Trace != nil || cfg.Ledger
+	var classOf map[int]string
+	if ledger {
+		res.Records = make([]TrialRecord, cfg.Trials)
+		classOf = make(map[int]string, len(cfg.Regions))
+		for _, ri := range cfg.Regions {
+			classOf[ri.ID] = ri.Class
+		}
+	}
 	var mu sync.Mutex
 	runTrials(pool, len(plans), cfg.Workers, reg, cfg.Progress, func(w *interp.Machine, t int) {
 		w.Reset()
 		w.InjectFault(plans[t])
 		_, err := w.Run()
 		rep := w.FaultReport()
+		match := err == nil && w.Checksum(outs...) == golden
+		o := classify(rep, err, match)
 		mu.Lock()
 		defer mu.Unlock()
-		switch {
-		case !rep.Injected:
-			res.Counts[NotInjected]++
-		case err == interp.ErrDetectedUnrecoverable:
-			res.Counts[DetectedUnrecoverable]++
-		case err != nil:
-			res.Counts[Crashed]++
-		case w.Checksum(outs...) == golden:
-			if rep.RolledBack {
-				res.Counts[Recovered]++
-				if rep.SameInstance {
-					res.SameInstance++
-				}
-			} else {
-				res.Counts[Benign]++
-			}
-		default:
-			if rep.RolledBack {
-				res.Counts[RecoveredWrong]++
-			} else {
-				res.Counts[SilentCorruption]++
-			}
+		res.Counts[o]++
+		if o == Recovered && rep.SameInstance {
+			res.SameInstance++
+		}
+		if ledger {
+			res.Records[t] = makeRecord(t, plans[t], rep, o, err, total, w.Count, classOf)
 		}
 	})
+	if ledger {
+		meta := &CampaignMeta{
+			App: cfg.App, Trials: cfg.Trials, Seed: cfg.Seed,
+			Dmax: cfg.Dmax, Bits: cfg.Bits, GoldenInstrs: total,
+			Regions: cfg.Regions,
+		}
+		for _, ri := range cfg.Regions {
+			if ri.Selected {
+				meta.PredCoverage += ri.DynFrac * ri.Alpha
+			}
+		}
+		res.Meta = meta
+		if cfg.Trace != nil {
+			cfg.Trace.Emit(CampaignEnvelope{Type: TraceCampaign, CampaignMeta: *meta})
+			for i := range res.Records {
+				cfg.Trace.Emit(TrialEnvelope{Type: TraceTrial, TrialRecord: res.Records[i]})
+			}
+		}
+	}
 	for o := Outcome(0); o < numOutcomes; o++ {
 		reg.Add("sfi.outcome."+o.String(), int64(res.Counts[o]))
 	}

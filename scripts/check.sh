@@ -30,8 +30,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/obs ./internal/sfi ./internal/experiments"
-go test -race ./internal/obs ./internal/sfi ./internal/experiments
+echo "==> go test -race ./internal/obs ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib"
+go test -race ./internal/obs ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -48,6 +48,11 @@ echo "==> flag surface (-h must document the observability flags)"
 "$tmp/encore-bench" -h 2>&1 | grep -q -- '-metrics' || { echo "encore-bench -h: missing -metrics" >&2; exit 1; }
 "$tmp/encore-bench" -h 2>&1 | grep -q -- '-cpuprofile' || { echo "encore-bench -h: missing -cpuprofile" >&2; exit 1; }
 "$tmp/encore-bench" -h 2>&1 | grep -q -- '-memprofile' || { echo "encore-bench -h: missing -memprofile" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-trace' || { echo "encore-sfi -h: missing -trace" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-report' || { echo "encore-sfi -h: missing -report" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-chrometrace' || { echo "encore-sfi -h: missing -chrometrace" >&2; exit 1; }
+"$tmp/encore-bench" -h 2>&1 | grep -q -- '-chrometrace' || { echo "encore-bench -h: missing -chrometrace" >&2; exit 1; }
+"$tmp/encore" -h 2>&1 | grep -q -- '-chrometrace' || { echo "encore -h: missing -chrometrace" >&2; exit 1; }
 
 echo "==> smoke: encore"
 "$tmp/encore" -app rawcaudio -metrics "$tmp/encore.json" > /dev/null
@@ -57,6 +62,17 @@ echo "==> smoke: encore-sfi"
 "$tmp/encore-sfi" -app rawdaudio -trials 20 -progress -metrics "$tmp/sfi.json" > /dev/null 2>"$tmp/sfi.progress"
 grep -q '"sfi.trials"' "$tmp/sfi.json" || { echo "encore-sfi -metrics: no sfi.trials counter" >&2; exit 1; }
 grep -q 'campaign' "$tmp/sfi.progress" || { echo "encore-sfi -progress: no progress line on stderr" >&2; exit 1; }
+
+echo "==> smoke: encore-sfi trial ledger + attribution report"
+"$tmp/encore-sfi" -app rawcaudio -trials 5 -trace - > "$tmp/trace.jsonl" 2>/dev/null
+lines=$(wc -l < "$tmp/trace.jsonl")
+[ "$lines" -eq 6 ] || { echo "encore-sfi -trace -: want 6 JSONL lines (1 header + 5 trials), got $lines" >&2; exit 1; }
+grep -q '"type":"campaign"' "$tmp/trace.jsonl" || { echo "encore-sfi -trace: no campaign header" >&2; exit 1; }
+"$tmp/encore-sfi" -report "$tmp/trace.jsonl" > "$tmp/report.txt"
+grep -q 'measured same-instance' "$tmp/report.txt" || { echo "encore-sfi -report: no coverage line" >&2; exit 1; }
+grep -q '|err|' "$tmp/report.txt" || { echo "encore-sfi -report: no abs-error column" >&2; exit 1; }
+"$tmp/encore-sfi" -trace "$tmp/trace2.jsonl" -app rawcaudio -trials 5 > /dev/null
+cmp -s "$tmp/trace.jsonl" "$tmp/trace2.jsonl" || { echo "encore-sfi -trace: not byte-identical across runs" >&2; exit 1; }
 
 echo "==> smoke: encore-bench"
 "$tmp/encore-bench" -exp fig5 -apps rawcaudio,rawdaudio -quick -metrics "$tmp/bench.json" > /dev/null
