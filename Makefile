@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test bench check
+.PHONY: build test bench fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -11,7 +12,15 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Full health gate: gofmt, vet, build, tests, and the race detector over
-# the concurrent packages. See scripts/check.sh.
+# Short-budget run of the generative oracles (internal/progen): each fuzz
+# target replays its checked-in corpus and then explores for FUZZTIME.
+# Raise the budget for a deeper hunt: make fuzz-smoke FUZZTIME=5m
+fuzz-smoke:
+	$(GO) test ./internal/progen -run '^$$' -fuzz '^FuzzIdempotence$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/progen -run '^$$' -fuzz '^FuzzRecovery$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/progen -run '^$$' -fuzz '^FuzzEngines$$' -fuzztime $(FUZZTIME)
+
+# Full health gate: gofmt, vet, build, tests, the race detector over the
+# concurrent packages, and the fuzz smoke. See scripts/check.sh.
 check:
 	sh scripts/check.sh

@@ -1,0 +1,96 @@
+package attrib
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReadTraceNegative walks ReadTrace through damaged JSONL ledgers:
+// truncated trailing records, mid-file corruption, unknown type tags,
+// orphan trials, and type-mismatched payloads. Every failure must name
+// the 1-based offending line so a multi-gigabyte campaign trace can be
+// triaged without bisecting the file.
+func TestReadTraceNegative(t *testing.T) {
+	campaign := `{"type":"campaign","app":"a","trials":1,"seed":1,"dmax":4}`
+	trial := `{"type":"trial","trial":0,"inject_at":1,"region_id":0}`
+
+	cases := []struct {
+		name    string
+		input   string
+		wantSub string
+	}{
+		{
+			"truncated trailing record",
+			campaign + "\n" + `{"type":"trial","trial":0,"inject`,
+			"attrib: line 2:",
+		},
+		{
+			"corrupt line mid-file",
+			campaign + "\n" + trial + "\n" + "{not json}\n" + trial,
+			"attrib: line 3:",
+		},
+		{
+			"unknown record type",
+			campaign + "\n" + `{"type":"bogus"}`,
+			`attrib: line 2: unknown record type "bogus"`,
+		},
+		{
+			"trial before any campaign header",
+			trial,
+			"attrib: line 1: trial record before any campaign header",
+		},
+		{
+			"campaign header with mismatched field type",
+			`{"type":"campaign","app":123}`,
+			"attrib: line 1: campaign header:",
+		},
+		{
+			"trial record with mismatched field type",
+			campaign + "\n" + `{"type":"trial","trial":"zero"}`,
+			"attrib: line 2: trial record:",
+		},
+		{
+			"blank lines count toward the reported line number",
+			campaign + "\n\n\n" + `{"type":"wat"}`,
+			"attrib: line 4:",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ReadTrace(strings.NewReader(tc.input))
+			if err == nil {
+				t.Fatalf("ReadTrace accepted damaged input, returned %d campaigns", len(got))
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the offending line; want substring %q", err, tc.wantSub)
+			}
+			if got != nil {
+				t.Errorf("partial campaigns %v returned alongside error", got)
+			}
+		})
+	}
+}
+
+// TestReadTraceBoundaries pins the non-error edges: empty input is a
+// valid zero-campaign trace, and blank lines between records are skipped
+// without ending a campaign.
+func TestReadTraceBoundaries(t *testing.T) {
+	if cs, err := ReadTrace(strings.NewReader("")); err != nil || len(cs) != 0 {
+		t.Fatalf("empty trace: campaigns=%v err=%v, want none", cs, err)
+	}
+	in := `{"type":"campaign","app":"a"}` + "\n\n" +
+		`{"type":"trial","trial":0}` + "\n" +
+		`{"type":"campaign","app":"b"}` + "\n" +
+		`{"type":"trial","trial":0}` + "\n" +
+		`{"type":"trial","trial":1}` + "\n"
+	cs, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].Meta.App != "a" || cs[1].Meta.App != "b" {
+		t.Fatalf("campaign split wrong: %+v", cs)
+	}
+	if len(cs[0].Records) != 1 || len(cs[1].Records) != 2 {
+		t.Fatalf("trial attribution wrong: %d and %d records", len(cs[0].Records), len(cs[1].Records))
+	}
+}

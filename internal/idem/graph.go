@@ -19,10 +19,13 @@ type node struct {
 	preds, succs []*node
 
 	// Effects.
-	as      []StoreRef // stores performed by this node (call effects included)
-	asLocs  alias.Set  // locations of as, for guard computation
-	eaLocal alias.Set  // locally exposed load addresses
-	unknown bool       // node has unboundable effects
+	as       []StoreRef // stores performed by this node (call effects included)
+	asLocs   alias.Set  // locations of as (may-stores: call effects included)
+	mustLocs alias.Set  // locations this node is guaranteed to overwrite:
+	// direct stores only — a call-summarized store may sit on an untaken
+	// path inside the callee, so it can never guard a load or feed GA
+	eaLocal alias.Set // locally exposed load addresses
+	unknown bool      // node has unboundable effects
 
 	// Dataflow results.
 	rs map[StoreRef]bool // reachable stores at/after this node
@@ -43,8 +46,9 @@ func (n *node) headerBlock() *ir.Block {
 func (e *Env) blockEffects(n *node, b *ir.Block) {
 	fi := e.MI.Info(b.Fn)
 	n.asLocs = alias.Set{}
+	n.mustLocs = alias.Set{}
 	n.eaLocal = alias.Set{}
-	guarded := alias.Set{} // locations stored earlier within this block
+	guarded := alias.Set{} // locations direct-stored earlier within this block
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
 		pos := alias.InstrPos{Block: b, Index: i}
@@ -58,6 +62,7 @@ func (e *Env) blockEffects(n *node, b *ir.Block) {
 			loc := fi.RefOf(pos)
 			n.as = append(n.as, StoreRef{Pos: pos, Loc: loc})
 			n.asLocs.Add(loc)
+			n.mustLocs.Add(loc)
 			guarded.Add(loc)
 		case ir.OpCall:
 			sum := e.MI.Summaries[in.Callee]
@@ -66,7 +71,10 @@ func (e *Env) blockEffects(n *node, b *ir.Block) {
 				n.unknown = true
 			}
 			// Callee load/store interleaving is unknown: expose loads
-			// first (conservative), then account stores.
+			// first (conservative), then account stores. Summarized
+			// stores are may-stores (the callee might not take the path
+			// that executes them), so they join the store set but never
+			// guard later loads.
 			for l := range ld {
 				if !guarded.MustCovers(l) {
 					n.eaLocal.Add(l)
@@ -75,7 +83,6 @@ func (e *Env) blockEffects(n *node, b *ir.Block) {
 			for l := range st {
 				n.as = append(n.as, StoreRef{Pos: pos, Loc: l, FromCall: true})
 				n.asLocs.Add(l)
-				guarded.Add(l)
 			}
 		case ir.OpExtern:
 			n.unknown = true
@@ -87,14 +94,15 @@ func (e *Env) blockEffects(n *node, b *ir.Block) {
 }
 
 // gaGain returns the addresses a node guarantees to have overwritten once
-// control has passed through it: every store of a basic block (straight-
-// line code always executes to the end), or the loop-wide guaranteed set
-// for a super-node.
+// control has passed through it: every direct store of a basic block
+// (straight-line code always executes to the end; call-summarized stores
+// are only may-stores and do not qualify), or the loop-wide guaranteed
+// set for a super-node.
 func (n *node) gaGain() alias.Set {
 	if n.loop != nil {
 		return n.sum.ga
 	}
-	return n.asLocs
+	return n.mustLocs
 }
 
 // buildGraph assembles the collapsed analysis graph over the given block

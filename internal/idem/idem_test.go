@@ -412,3 +412,71 @@ func TestGuardOnOnePathOnly(t *testing.T) {
 		t.Fatalf("class = %v, want non-idempotent (exposed via skip path)", res.Class)
 	}
 }
+
+// TestCallMayStoreDoesNotGuard: a call-summarized store is a may-store —
+// the callee might not take the path that executes it — so it must
+// neither guard a later load of the same location (same block) nor feed
+// the guaranteed-address set GA (across blocks). Either mistake hides
+// the WAR formed by a read-modify-write after the call, and a rollback
+// across the call replays the RMW against post-store state. Found by
+// FuzzIdempotence.
+func TestCallMayStoreDoesNotGuard(t *testing.T) {
+	build := func(sameBlock bool) *ir.Func {
+		m := ir.NewModule("maystore")
+		G := m.NewGlobal("G", 4)
+
+		// writer stores G[0] on only one arm of a branch.
+		callee := m.NewFunc("writer", 0)
+		ce := callee.NewBlock("entry")
+		ct := callee.NewBlock("t")
+		cj := callee.NewBlock("j")
+		cg, cc := callee.NewReg(), callee.NewReg()
+		ce.GlobalAddr(cg, G)
+		ce.Const(cc, 1)
+		ce.Br(cc, ct, cj)
+		ct.Store(cg, 0, cc)
+		ct.Jmp(cj)
+		cj.RetVoid()
+		callee.Recompute()
+
+		f := m.NewFunc("main", 0)
+		b := f.NewBlock("entry")
+		gb, r, v := f.NewReg(), f.NewReg(), f.NewReg()
+		b.GlobalAddr(gb, G)
+		b.Call(r, callee)
+		rmw := b
+		if !sameBlock {
+			rmw = f.NewBlock("next")
+			b.Jmp(rmw)
+		}
+		rmw.Load(v, gb, 0) // exposed: the callee only MAY have stored G[0]
+		rmw.Store(gb, 0, v)
+		rmw.Ret(v)
+		f.Recompute()
+		return f
+	}
+	for _, tc := range []struct {
+		name      string
+		sameBlock bool
+	}{
+		{"same-block guard", true},
+		{"cross-block GA", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := build(tc.sameBlock)
+			_, res := analyzeWholeFunc(t, f, alias.Static)
+			if res.Class != NonIdempotent {
+				t.Fatalf("class = %v (CP %v), want non-idempotent: the RMW after the call is a WAR", res.Class, res.CP)
+			}
+			direct := false
+			for _, s := range res.CP {
+				if !s.FromCall && s.Loc.Kind == alias.KindGlobal && s.Loc.Off == 0 {
+					direct = true
+				}
+			}
+			if !direct {
+				t.Fatalf("CP = %v, want the direct RMW store checkpointed", res.CP)
+			}
+		})
+	}
+}

@@ -1,0 +1,321 @@
+package idem
+
+import (
+	"testing"
+
+	"encore/internal/alias"
+	"encore/internal/ir"
+)
+
+// TestStoreRefCheckpointable pins the checkpointability rule: direct
+// stores always are (the checkpoint reuses the store's own address
+// operand); call-summarized stores only when instrumentation can
+// re-materialize the address at the call site.
+func TestStoreRefCheckpointable(t *testing.T) {
+	m := ir.NewModule("ckptable")
+	g := m.NewGlobal("G", 4)
+	f := m.NewFunc("f", 0)
+
+	cases := []struct {
+		name string
+		ref  StoreRef
+		want bool
+	}{
+		{"direct global", StoreRef{Loc: alias.Loc{Kind: alias.KindGlobal, Global: g, OffKnown: true}}, true},
+		{"direct unknown offset", StoreRef{Loc: alias.Loc{Kind: alias.KindGlobal, Global: g}}, true},
+		{"direct untracked", StoreRef{Loc: alias.Unknown}, true},
+		{"call global known", StoreRef{FromCall: true, Loc: alias.Loc{Kind: alias.KindGlobal, Global: g, Off: 8, OffKnown: true}}, true},
+		{"call global unknown offset", StoreRef{FromCall: true, Loc: alias.Loc{Kind: alias.KindGlobal, Global: g}}, false},
+		{"call frame known", StoreRef{FromCall: true, Loc: alias.Loc{Kind: alias.KindFrame, Fn: f, Off: 16, OffKnown: true}}, true},
+		{"call frame unknown offset", StoreRef{FromCall: true, Loc: alias.Loc{Kind: alias.KindFrame, Fn: f}}, false},
+		{"call absolute", StoreRef{FromCall: true, Loc: alias.Loc{Kind: alias.KindAbs, Off: 4096, OffKnown: true}}, true},
+		{"call param", StoreRef{FromCall: true, Loc: alias.Loc{Kind: alias.KindParam, OffKnown: true}}, false},
+		{"call untracked", StoreRef{FromCall: true, Loc: alias.Unknown}, false},
+	}
+	for _, tc := range cases {
+		if got := tc.ref.Checkpointable(); got != tc.want {
+			t.Errorf("%s: Checkpointable() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// summaryOf builds the analysis environment for f and returns the
+// meta-summary of the loop headed at header.
+func summaryOf(t *testing.T, f *ir.Func, header *ir.Block) (*Env, *loopSummary) {
+	t.Helper()
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(f, alias.AnalyzeModule(f.Mod), alias.Static)
+	l := env.Loops.ByHeader[header]
+	if l == nil {
+		t.Fatalf("no loop headed at %s", header)
+	}
+	s := env.summarize(l)
+	if s == nil {
+		t.Fatalf("loop at %s not summarizable", header)
+	}
+	return env, s
+}
+
+func globalLoc(g *ir.Global, off int64) alias.Loc {
+	return alias.Loc{Kind: alias.KindGlobal, Global: g, Off: off, OffKnown: true}
+}
+
+// TestLoopSummaryRSisAS: the loop-wide reachable-store set is the set of
+// ALL stores in the body (RS_l = AS_l) — control can reach any store from
+// any point by going around the back edge, regardless of block order.
+func TestLoopSummaryRSisAS(t *testing.T) {
+	m := ir.NewModule("rsas")
+	X := m.NewGlobal("X", 4)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	early := f.NewBlock("early") // stores X[0] before the latch store
+	latch := f.NewBlock("latch") // stores X[1]
+	exit := f.NewBlock("exit")
+
+	xB, i, bound, cond, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(xB, X)
+	entry.Const(i, 0)
+	entry.Const(v, 3)
+	entry.Jmp(head)
+	head.Const(bound, 4)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, early, exit)
+	early.Store(xB, 0, v)
+	early.Jmp(latch)
+	latch.Store(xB, 1, v)
+	latch.AddI(i, i, 1)
+	latch.Jmp(head)
+	exit.RetVoid()
+	f.Recompute()
+
+	_, s := summaryOf(t, f, head)
+	if len(s.as) != 2 {
+		t.Fatalf("AS_l has %d stores, want both body stores: %v", len(s.as), s.as)
+	}
+	for _, loc := range []alias.Loc{globalLoc(X, 0), globalLoc(X, 1)} {
+		if !s.asLocs.MustCovers(loc) {
+			t.Errorf("AS_l locations %v missing %v", s.asLocs, loc)
+		}
+	}
+}
+
+// TestLoopSummaryEAUnion: EA_l must be the union of exposure across the
+// whole body, not just what the exiting node has seen in the single
+// acyclic pass. Here the only exit is the header, whose own EA is empty
+// because the exposed load sits in the body *after* it; only the
+// across-iterations union makes the exposure visible to enclosing
+// regions.
+func TestLoopSummaryEAUnion(t *testing.T) {
+	m := ir.NewModule("eaunion")
+	Y := m.NewGlobal("Y", 4)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	yB, i, bound, cond, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(yB, Y)
+	entry.Const(i, 0)
+	entry.Jmp(head)
+	head.Const(bound, 4)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, body, exit)
+	body.Load(v, yB, 0) // exposed, but only reached after the exiting header
+	body.AddI(i, i, 1)
+	body.Jmp(head)
+	exit.RetVoid()
+	f.Recompute()
+
+	_, s := summaryOf(t, f, head)
+	if !s.ea.MustCovers(globalLoc(Y, 0)) {
+		t.Fatalf("EA_l = %v must expose the body load of Y[0]", s.ea)
+	}
+}
+
+// TestLoopSummaryGAMultiExit: with several exiting nodes, GA_l is the
+// intersection of the guaranteed sets along each exit. A[0] is stored by
+// the header (on every path out); B[0] only by the breaking block, so
+// only A[0] is loop-wide guaranteed.
+func TestLoopSummaryGAMultiExit(t *testing.T) {
+	m := ir.NewModule("gamulti")
+	A := m.NewGlobal("A", 4)
+	B := m.NewGlobal("B", 4)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body") // stores B, may break out
+	latch := f.NewBlock("latch")
+	exit := f.NewBlock("exit")
+
+	aB, bB, i, bound, cond, bc, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(aB, A)
+	entry.GlobalAddr(bB, B)
+	entry.Const(i, 0)
+	entry.Const(v, 9)
+	entry.Jmp(head)
+	head.Store(aB, 0, v) // guaranteed on both exits
+	head.Const(bound, 4)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, body, exit)
+	body.Store(bB, 0, v) // guaranteed only on the break exit
+	body.Bin(ir.OpEq, bc, i, bound)
+	body.Br(bc, exit, latch) // break edge: second loop exit
+	latch.AddI(i, i, 1)
+	latch.Jmp(head)
+	exit.RetVoid()
+	f.Recompute()
+
+	_, s := summaryOf(t, f, head)
+	if !s.ga.MustCovers(globalLoc(A, 0)) {
+		t.Errorf("GA_l = %v must guarantee A[0] (stored by the header before every exit)", s.ga)
+	}
+	if s.ga.MustCovers(globalLoc(B, 0)) {
+		t.Errorf("GA_l = %v must NOT guarantee B[0] (missed when exiting from the header)", s.ga)
+	}
+}
+
+// TestNestedLoopSummary: summarizing an outer loop must recursively fold
+// the inner loop in — the inner RMW's checkpoint obligation, its stores
+// (AS), and its exposure (EA) all surface in the outer summary.
+func TestNestedLoopSummary(t *testing.T) {
+	m := ir.NewModule("nested")
+	X := m.NewGlobal("X", 4)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	ohead := f.NewBlock("ohead")
+	obody := f.NewBlock("obody")
+	ihead := f.NewBlock("ihead")
+	ibody := f.NewBlock("ibody") // t = X[0]; X[0] = t+1 — inner-loop WAR
+	olatch := f.NewBlock("olatch")
+	exit := f.NewBlock("exit")
+
+	xB, i, j, bound, c1, c2, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(xB, X)
+	entry.Const(j, 0)
+	entry.Jmp(ohead)
+	ohead.Const(bound, 3)
+	ohead.Bin(ir.OpLt, c1, j, bound)
+	ohead.Br(c1, obody, exit)
+	obody.Const(i, 0)
+	obody.Jmp(ihead)
+	ihead.Bin(ir.OpLt, c2, i, bound)
+	ihead.Br(c2, ibody, olatch)
+	ibody.Load(v, xB, 0)
+	ibody.AddI(v, v, 1)
+	ibody.Store(xB, 0, v)
+	ibody.AddI(i, i, 1)
+	ibody.Jmp(ihead)
+	olatch.AddI(j, j, 1)
+	olatch.Jmp(ohead)
+	exit.RetVoid()
+	f.Recompute()
+
+	env, outer := summaryOf(t, f, ohead)
+	inner := env.Loops.ByHeader[ihead]
+	if inner == nil || inner.Parent != env.Loops.ByHeader[ohead] {
+		t.Fatal("loop forest did not nest ihead inside ohead")
+	}
+	is := env.summarize(inner)
+	if is == nil || len(is.cp) != 1 {
+		t.Fatalf("inner summary cp = %+v, want exactly the X[0] RMW store", is)
+	}
+	if len(outer.cp) != 1 || outer.cp[0] != is.cp[0] {
+		t.Fatalf("outer cp = %v must inherit the inner violation %v", outer.cp, is.cp)
+	}
+	if len(outer.as) != 1 || !outer.asLocs.MustCovers(globalLoc(X, 0)) {
+		t.Errorf("outer AS_l = %v must fold in the inner store", outer.as)
+	}
+	if !outer.ea.MustCovers(globalLoc(X, 0)) {
+		t.Errorf("outer EA_l = %v must fold in the inner exposure", outer.ea)
+	}
+}
+
+// TestMetaSummaryDrivesRegionCP is the region-level consequence of the
+// EA_l union: a region enclosing a whole loop sees the loop as one node
+// whose exposure is EA_l. The reduction loop's loads expose X; the
+// post-loop store writes X — a WAR visible ONLY through the loop
+// meta-summary. Dropping the union (loops.go) silently flips this region
+// to idempotent; this is the in-tree twin of the progen kill experiment.
+func TestMetaSummaryDrivesRegionCP(t *testing.T) {
+	m := ir.NewModule("sumloop")
+	X := m.NewGlobal("X", 8)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	tail := f.NewBlock("tail")
+
+	xB, i, bound, cond, acc, a, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(xB, X)
+	entry.Const(i, 0)
+	entry.Const(acc, 0)
+	entry.Jmp(head)
+	head.Const(bound, 4)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, body, tail)
+	body.Add(a, xB, i)
+	body.Load(v, a, 0) // exposes X[?]
+	body.Bin(ir.OpAdd, acc, acc, v)
+	body.AddI(i, i, 1)
+	body.Jmp(head)
+	tail.Store(xB, 2, acc) // WAR with the loop's loads, via EA_l only
+	tail.RetVoid()
+	f.Recompute()
+
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != NonIdempotent {
+		t.Fatalf("class = %v, want non-idempotent: post-loop store vs loop-exposed loads", res.Class)
+	}
+	found := false
+	for _, cp := range res.CP {
+		if cp.Pos.Block == tail {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CP = %v must include the post-loop store in tail", res.CP)
+	}
+}
+
+// TestMultiExitLoopInRegion: a region containing a multi-exit loop. The
+// pre-loop load of A is exposed; the loop stores A every iteration, so
+// Equation 4 fires at the entry node against the loop's AS_l regardless
+// of which exit the loop takes.
+func TestMultiExitLoopInRegion(t *testing.T) {
+	m := ir.NewModule("multiexit")
+	A := m.NewGlobal("A", 4)
+	f := m.NewFunc("main", 0)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	latch := f.NewBlock("latch")
+	exit := f.NewBlock("exit")
+
+	aB, i, bound, cond, bc, v := f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg(), f.NewReg()
+	entry.GlobalAddr(aB, A)
+	entry.Load(v, aB, 0) // exposed load of A[0]
+	entry.Const(i, 0)
+	entry.Jmp(head)
+	head.Const(bound, 4)
+	head.Bin(ir.OpLt, cond, i, bound)
+	head.Br(cond, body, exit)
+	body.Store(aB, 0, i) // overwrites what entry read
+	body.Bin(ir.OpEq, bc, i, bound)
+	body.Br(bc, exit, latch) // break: second exit
+	latch.AddI(i, i, 1)
+	latch.Jmp(head)
+	exit.Ret(v)
+	f.Recompute()
+
+	_, res := analyzeWholeFunc(t, f, alias.Static)
+	if res.Class != NonIdempotent {
+		t.Fatalf("class = %v, want non-idempotent", res.Class)
+	}
+	if len(res.CP) != 1 || res.CP[0].Pos.Block != body {
+		t.Fatalf("CP = %v, want exactly the in-loop store of A[0]", res.CP)
+	}
+}

@@ -26,6 +26,15 @@ const (
 	// strike used by the hardware-masking Monte Carlo (§4, Figure 8's
 	// Masked segment).
 	CorruptRegFile
+	// PhantomFault corrupts nothing: at InjectAt it only records the site
+	// and schedules the detector. The resulting rollback re-executes the
+	// covered region from its entry with bitwise-clean state, so the final
+	// architectural state is a pure probe of the idempotence analysis —
+	// any divergence from the fault-free run is a soundness bug in the
+	// RS/GA/EA classification or checkpoint placement, not fault
+	// propagation. This is the "execute the region twice" trigger used by
+	// the progen idempotence oracle.
+	PhantomFault
 )
 
 // FaultPlan schedules one transient fault; a symptom-based detector

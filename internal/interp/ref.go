@@ -71,15 +71,25 @@ func (m *Machine) loopRefFrom(baseDepth int, b *ir.Block, idx int) (int64, error
 			m.Cfg.Hook.OnInstr(m, b, idx)
 		}
 
-		// Register-file strikes fire between instructions.
-		if m.fault != nil && !m.fault.injected && m.fault.plan.Mode == CorruptRegFile && m.Count >= m.fault.plan.InjectAt {
-			r := m.fault.plan.TargetReg % len(fr.regs)
-			fr.regs[r] ^= 1 << (m.fault.plan.Bit & 63)
-			m.fault.injected = true
-			m.fault.report.Injected = true
-			m.fault.report.Site.Reg = ir.Reg(r)
-			m.noteSite(&m.fault.report.Site, b, idx)
-			m.fault.detectAt = m.Count + m.fault.plan.DetectLatency
+		// Register-file strikes and phantom (detection-only) faults fire
+		// between instructions; CorruptOutput instead fires at the
+		// instruction-output injection points below.
+		if m.fault != nil && !m.fault.injected && m.Count >= m.fault.plan.InjectAt {
+			switch m.fault.plan.Mode {
+			case CorruptRegFile:
+				r := m.fault.plan.TargetReg % len(fr.regs)
+				fr.regs[r] ^= 1 << (m.fault.plan.Bit & 63)
+				m.fault.injected = true
+				m.fault.report.Injected = true
+				m.fault.report.Site.Reg = ir.Reg(r)
+				m.noteSite(&m.fault.report.Site, b, idx)
+				m.fault.detectAt = m.Count + m.fault.plan.DetectLatency
+			case PhantomFault:
+				m.fault.injected = true
+				m.fault.report.Injected = true
+				m.noteSite(&m.fault.report.Site, b, idx)
+				m.fault.detectAt = m.Count + m.fault.plan.DetectLatency
+			}
 		}
 		// Scheduled fault detection fires between instructions.
 		if m.fault != nil && m.fault.injected && !m.fault.detected && m.Count >= m.fault.detectAt {
@@ -234,18 +244,27 @@ func (m *Machine) loopRefFrom(baseDepth int, b *ir.Block, idx int) (int64, error
 				}
 				fr.regs[in.Dst] = ef(m, args)
 			case ir.OpSetRecovery:
-				meta := m.regions[int(in.Imm)]
-				m.instanceSeq++
-				m.RegionEntries++
-				if fr.region != nil {
-					m.freeRegion(fr.region)
+				if in.Imm < 0 {
+					// Disarm at an unselected region header: the previous
+					// arm must not survive into unanalyzed code.
+					if fr.region != nil {
+						m.freeRegion(fr.region)
+						fr.region = nil
+					}
+				} else {
+					meta := m.regions[int(in.Imm)]
+					m.instanceSeq++
+					m.RegionEntries++
+					if fr.region != nil {
+						m.freeRegion(fr.region)
+					}
+					rs := m.allocRegion()
+					rs.meta = meta
+					rs.instance = m.instanceSeq
+					rs.frame = len(m.frames) - 1
+					rs.entryCount = m.Count
+					fr.region = rs
 				}
-				rs := m.allocRegion()
-				rs.meta = meta
-				rs.instance = m.instanceSeq
-				rs.frame = len(m.frames) - 1
-				rs.entryCount = m.Count
-				fr.region = rs
 			case ir.OpCkptReg:
 				if fr.region != nil {
 					fr.region.entries = append(fr.region.entries,

@@ -380,18 +380,27 @@ func (m *Machine) loopFastFrom(baseDepth int, pc int32) (int64, error) {
 			regs[in.dst] = v
 		case uint8(ir.OpSetRecovery):
 			ovh++ // instrumentation op: counts only toward Count
-			meta := m.regions[int(in.imm)]
-			m.instanceSeq++
-			m.RegionEntries++
-			if fr.region != nil {
-				m.freeRegion(fr.region)
+			if in.imm < 0 {
+				// Disarm at an unselected region header: the previous arm
+				// must not survive into unanalyzed code.
+				if fr.region != nil {
+					m.freeRegion(fr.region)
+					fr.region = nil
+				}
+			} else {
+				meta := m.regions[int(in.imm)]
+				m.instanceSeq++
+				m.RegionEntries++
+				if fr.region != nil {
+					m.freeRegion(fr.region)
+				}
+				rs := m.allocRegion()
+				rs.meta = meta
+				rs.instance = m.instanceSeq
+				rs.frame = len(m.frames) - 1
+				rs.entryCount = count
+				fr.region = rs
 			}
-			rs := m.allocRegion()
-			rs.meta = meta
-			rs.instance = m.instanceSeq
-			rs.frame = len(m.frames) - 1
-			rs.entryCount = count
-			fr.region = rs
 		case uint8(ir.OpCkptReg):
 			ovh++
 			if fr.region != nil {

@@ -1,0 +1,37 @@
+package progen
+
+// ParamsFromBytes derives generator parameters from raw fuzz input: the
+// first 8 bytes seed the RNG, the following bytes select the shape knobs.
+// Missing bytes fall back to moderate defaults, so every input — including
+// the empty one — maps to a valid Params and the fuzzer explores program
+// shape and seed space simultaneously. The mapping is stable: corpus
+// entries keep reproducing the same program across runs.
+func ParamsFromBytes(data []byte) Params {
+	at := func(i int, def byte) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return def
+	}
+	var seed uint64
+	for i := 0; i < 8; i++ {
+		seed = seed<<8 | uint64(at(i, byte(0x9e+7*i)))
+	}
+	p := Params{
+		Seed:         seed,
+		Depth:        1 + int(at(8, 1))%3,
+		Stmts:        2 + int(at(9, 4))%7,
+		Helpers:      int(at(10, 1)) % 3,
+		Globals:      1 + int(at(11, 1))%3,
+		GlobalWords:  8 << (uint(at(12, 1)) % 3),
+		FrameSlots:   int64(at(13, 2)) % 5,
+		LoopDensity:  int(at(14, 3)) % 8,
+		StoreDensity: int(at(15, 3)) % 8,
+		AliasDensity: int(at(16, 2)) % 8,
+		CallDensity:  int(at(17, 3)) % 8,
+		BreakDensity: int(at(18, 1)) % 8,
+		Externs:      at(19, 0)&1 == 1,
+		Profiled:     at(20, 0)&3 == 3,
+	}
+	return p.Normalized()
+}

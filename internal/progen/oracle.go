@@ -1,0 +1,408 @@
+package progen
+
+import (
+	"fmt"
+
+	"encore/internal/alias"
+	"encore/internal/core"
+	"encore/internal/idem"
+	"encore/internal/interp"
+	"encore/internal/ir"
+)
+
+// oracleBudget is the dynamic-instruction budget for every oracle run —
+// far above anything the bounded generator can produce, so hitting it
+// means runaway execution and is reported as a failure.
+const oracleBudget = 1 << 22
+
+// defaultPoints is the per-program cap on sampled injection points when
+// Params.MaxPoints is zero.
+const defaultPoints = 160
+
+// minDynInstrs is the dynamic length below which a generated program is
+// considered trivial and skipped by the fault-driven oracles.
+const minDynInstrs = 30
+
+// Counterexample is an oracle failure: which oracle tripped, the
+// generator parameters that rebuild the program bit-for-bit, and the
+// reproducing IR.
+type Counterexample struct {
+	Oracle string
+	Params Params
+	Detail string
+	IR     string
+}
+
+func (c *Counterexample) Error() string {
+	return fmt.Sprintf("progen %s oracle failed (seed %d): %s\nreproduce: progen.Generate(%#v)\n%s",
+		c.Oracle, c.Params.Seed, c.Detail, c.Params, c.IR)
+}
+
+// runState is the architecturally visible outcome of a complete run: the
+// return value plus a checksum over every global and the emitted output
+// stream.
+type runState struct {
+	ret int64
+	sum uint64
+}
+
+func stateOf(m *interp.Machine, ret int64) runState {
+	return runState{ret: ret, sum: m.Checksum(m.Mod.Globals...)}
+}
+
+// compiled is one generated program taken through the full pipeline,
+// ready for fault-driven oracle sweeps.
+type compiled struct {
+	p      Params
+	res    *core.Result
+	golden runState
+	total  int64 // fault-free dynamic instruction count
+
+	// selected maps each selected region's ID to its block set; class
+	// records every formed region's idempotence verdict for attribution.
+	selected map[int]map[*ir.Block]bool
+	class    map[int]idem.Class
+}
+
+// compile generates the program for p, records its fault-free golden
+// state, and instruments it with a generous budget so every protectable
+// region is selected. Returns (nil, nil) for programs too short to probe.
+func compile(p Params, profiled bool) (*compiled, error) {
+	p = p.Normalized()
+	mod := Generate(p)
+	gm := interp.New(mod, interp.Config{MaxInstrs: oracleBudget})
+	defer gm.Release()
+	ret, err := gm.Run()
+	if err != nil {
+		return nil, &Counterexample{Oracle: "generator", Params: p,
+			Detail: fmt.Sprintf("fault-free run failed: %v", err), IR: mod.String()}
+	}
+	c := &compiled{p: p, golden: stateOf(gm, ret), total: gm.Count}
+	if c.total < minDynInstrs {
+		return nil, nil
+	}
+	cfg := core.DefaultConfig()
+	cfg.Budget = 10 // select everything protectable
+	cfg.Interp.MaxInstrs = oracleBudget
+	if profiled {
+		cfg.AliasMode = alias.Profiled
+	}
+	res, err := core.Compile(mod, cfg)
+	if err != nil {
+		return nil, &Counterexample{Oracle: "compile", Params: p,
+			Detail: err.Error(), IR: mod.String()}
+	}
+	c.res = res
+	c.selected = make(map[int]map[*ir.Block]bool)
+	c.class = make(map[int]idem.Class, len(res.Regions))
+	for _, r := range res.Regions {
+		c.class[r.ID] = r.Analysis.Class
+		if r.Selected {
+			c.selected[r.ID] = r.Blocks
+		}
+	}
+	return c, nil
+}
+
+// covered reports whether the fault site sits inside the static block
+// extent of the selected region the recovery pointer named. Together with
+// SameInstance this is the precise "detected before control left the
+// region" event: regions are single-entry, so a same-instance site inside
+// the extent means the whole window from the region header to the site is
+// region code the analysis vouches for. Sites outside the extent ride a
+// stale recovery pointer (control already left the region without
+// entering another); re-execution then replays unanalyzed gap code and no
+// guarantee exists.
+func (c *compiled) covered(rep interp.FaultReport) bool {
+	if rep.Site.RegionID < 0 {
+		return false
+	}
+	bs := c.selected[rep.Site.RegionID]
+	return bs != nil && bs[rep.Site.Block]
+}
+
+// points samples dynamic injection counts 1..total-1 with an even stride.
+func (c *compiled) points() []int64 {
+	limit := c.p.MaxPoints
+	if limit <= 0 {
+		limit = defaultPoints
+	}
+	n := c.total - 1
+	if n < 1 {
+		return nil
+	}
+	step := n / int64(limit)
+	if step < 1 {
+		step = 1
+	}
+	out := make([]int64, 0, limit+1)
+	for at := int64(1); at <= n; at += step {
+		out = append(out, at)
+	}
+	return out
+}
+
+func (c *compiled) fail(oracle, detail string) error {
+	return &Counterexample{Oracle: oracle, Params: c.p, Detail: detail, IR: c.res.Mod.String()}
+}
+
+// CheckIdempotence is the idempotence oracle: at every sampled dynamic
+// instruction it arms a phantom fault — no corruption, detection only —
+// so the triggered rollback re-executes the covered region from its entry
+// with bitwise-clean inputs. Whenever the rollback hits a covered
+// same-instance site, the final architectural state must match the
+// fault-free run exactly: a divergence in a region classified idempotent
+// is a soundness bug in the RS/GA/EA dataflow (Equations 1–4, loop
+// meta-summaries included); in a non-idempotent region it is a checkpoint
+// placement or restore bug. Returns the number of rollbacks verified.
+func CheckIdempotence(p Params) (int, error) {
+	c, err := compile(p, false)
+	if c == nil || err != nil {
+		return 0, err
+	}
+	m := interp.New(c.res.Mod, interp.Config{MaxInstrs: oracleBudget})
+	defer m.Release()
+	m.SetRuntime(c.res.Metas)
+	verified := 0
+	for _, at := range c.points() {
+		m.Reset()
+		m.InjectFault(interp.FaultPlan{Mode: interp.PhantomFault, InjectAt: at, DetectLatency: 0})
+		ret, err := m.Run()
+		rep := m.FaultReport()
+		if !rep.Injected || !rep.RolledBack || !rep.SameInstance || !c.covered(rep) {
+			continue // uncovered site (or never reached): no promise to check
+		}
+		if err != nil {
+			return verified, c.fail("idempotence",
+				fmt.Sprintf("phantom rollback at %d (region %d, class %s): run failed: %v",
+					at, rep.TargetRegion, c.class[rep.TargetRegion], err))
+		}
+		verified++
+		if got := stateOf(m, ret); got != c.golden {
+			return verified, c.fail("idempotence",
+				fmt.Sprintf("phantom rollback at %d diverged in region %d (class %s): got ret=%d sum=%#x, want ret=%d sum=%#x",
+					at, rep.TargetRegion, c.class[rep.TargetRegion],
+					got.ret, got.sum, c.golden.ret, c.golden.sum))
+		}
+	}
+	return verified, nil
+}
+
+// CheckRecovery is the recovery oracle: it injects a real bit-flip
+// (CorruptOutput, zero detection latency) at every sampled dynamic
+// instruction. For any fault whose site lies inside a covered region the
+// runtime MUST roll back to that very region instance and the final
+// architectural state MUST be byte-identical to the fault-free run —
+// validating CKPT.MEM/CKPT.REG placement and the recovery-block dispatch
+// end to end. Faults striking uncovered code carry no promise and any
+// outcome is tolerated. Returns the number of recoveries verified.
+func CheckRecovery(p Params) (int, error) {
+	c, err := compile(p, false)
+	if c == nil || err != nil {
+		return 0, err
+	}
+	m := interp.New(c.res.Mod, interp.Config{MaxInstrs: oracleBudget})
+	defer m.Release()
+	m.SetRuntime(c.res.Metas)
+	verified := 0
+	for _, at := range c.points() {
+		m.Reset()
+		m.InjectFault(interp.FaultPlan{
+			Mode:          interp.CorruptOutput,
+			InjectAt:      at,
+			Bit:           uint8((uint64(at)*7 + c.p.Seed) % 48),
+			DetectLatency: 0,
+		})
+		ret, err := m.Run()
+		rep := m.FaultReport()
+		if !rep.Injected || !c.covered(rep) {
+			continue // uncovered strike: no promise to check
+		}
+		if err != nil {
+			return verified, c.fail("recovery",
+				fmt.Sprintf("covered fault at %d (region %d, class %s) did not recover: %v",
+					at, rep.Site.RegionID, c.class[rep.Site.RegionID], err))
+		}
+		if !rep.RolledBack || !rep.SameInstance || rep.TargetRegion != rep.Site.RegionID {
+			return verified, c.fail("recovery",
+				fmt.Sprintf("covered fault at %d in region %d misdispatched: rolledback=%v sameinstance=%v target=%d",
+					at, rep.Site.RegionID, rep.RolledBack, rep.SameInstance, rep.TargetRegion))
+		}
+		verified++
+		if got := stateOf(m, ret); got != c.golden {
+			return verified, c.fail("recovery",
+				fmt.Sprintf("rollback at %d in region %d (class %s) left divergent state: got ret=%d sum=%#x, want ret=%d sum=%#x",
+					at, rep.Site.RegionID, c.class[rep.Site.RegionID],
+					got.ret, got.sum, c.golden.ret, c.golden.sum))
+		}
+	}
+	return verified, nil
+}
+
+// CheckEngines is the engine-equivalence oracle: the generated program —
+// both uninstrumented and instrumented — must produce identical
+// trajectories on the pre-decoded fast path and the reference loop:
+// return value, instruction counters, checkpoint traffic, region entries,
+// memory/output checksum, and execution profile.
+func CheckEngines(p Params) error {
+	p = p.Normalized()
+	mod := Generate(p)
+	if err := mod.Verify(); err != nil {
+		return &Counterexample{Oracle: "generator", Params: p, Detail: err.Error(), IR: mod.String()}
+	}
+	if err := diffEngines(p, mod, nil, "plain"); err != nil {
+		return err
+	}
+	// Instrumented variant: regenerate (Compile instruments in place).
+	imod := Generate(p)
+	cfg := core.DefaultConfig()
+	cfg.Budget = 10
+	cfg.Interp.MaxInstrs = oracleBudget
+	if p.Profiled {
+		cfg.AliasMode = alias.Profiled
+	}
+	res, err := core.Compile(imod, cfg)
+	if err != nil {
+		return &Counterexample{Oracle: "compile", Params: p, Detail: err.Error(), IR: imod.String()}
+	}
+	return diffEngines(p, res.Mod, res.Metas, "instrumented")
+}
+
+// diffEngines runs mod through both dispatch loops and diffs everything
+// observable.
+func diffEngines(p Params, mod *ir.Module, metas []interp.RegionMeta, label string) error {
+	run := func(reference bool) (*interp.Machine, int64, error) {
+		m := interp.New(mod, interp.Config{MaxInstrs: oracleBudget, Profile: true, Reference: reference})
+		if metas != nil {
+			m.SetRuntime(metas)
+		}
+		ret, err := m.Run()
+		return m, ret, err
+	}
+	fast, fret, ferr := run(false)
+	defer fast.Release()
+	ref, rret, rerr := run(true)
+	defer ref.Release()
+	fail := func(detail string) error {
+		return &Counterexample{Oracle: "engines", Params: p,
+			Detail: fmt.Sprintf("%s module: %s", label, detail), IR: mod.String()}
+	}
+	if ferr != nil || rerr != nil {
+		return fail(fmt.Sprintf("run errors: fast=%v ref=%v", ferr, rerr))
+	}
+	if fret != rret {
+		return fail(fmt.Sprintf("return: fast=%d ref=%d", fret, rret))
+	}
+	if fast.Count != ref.Count || fast.BaseCount != ref.BaseCount {
+		return fail(fmt.Sprintf("counters: fast=(%d,%d) ref=(%d,%d)",
+			fast.Count, fast.BaseCount, ref.Count, ref.BaseCount))
+	}
+	if fs, rs := fast.Checksum(mod.Globals...), ref.Checksum(mod.Globals...); fs != rs {
+		return fail(fmt.Sprintf("checksum: fast=%#x ref=%#x", fs, rs))
+	}
+	if fast.CkptRegBytes != ref.CkptRegBytes || fast.CkptMemBytes != ref.CkptMemBytes ||
+		fast.RegionEntries != ref.RegionEntries || fast.MaxBufferBytes != ref.MaxBufferBytes {
+		return fail(fmt.Sprintf("ckpt traffic: fast=(%d,%d,%d,%d) ref=(%d,%d,%d,%d)",
+			fast.CkptRegBytes, fast.CkptMemBytes, fast.RegionEntries, fast.MaxBufferBytes,
+			ref.CkptRegBytes, ref.CkptMemBytes, ref.RegionEntries, ref.MaxBufferBytes))
+	}
+	if detail, ok := diffProfiles(fast.Prof, ref.Prof); !ok {
+		return fail("profile: " + detail)
+	}
+	return nil
+}
+
+// diffProfiles compares block and edge counts, treating absent and zero
+// entries as identical.
+func diffProfiles(a, b *interp.Profile) (string, bool) {
+	blocks := map[*ir.Block]bool{}
+	for blk := range a.Block {
+		blocks[blk] = true
+	}
+	for blk := range b.Block {
+		blocks[blk] = true
+	}
+	for blk := range blocks {
+		if a.Block[blk] != b.Block[blk] {
+			return fmt.Sprintf("block %s: fast=%d ref=%d", blk, a.Block[blk], b.Block[blk]), false
+		}
+	}
+	edges := map[*ir.Block]bool{}
+	for blk := range a.Edge {
+		edges[blk] = true
+	}
+	for blk := range b.Edge {
+		edges[blk] = true
+	}
+	for blk := range edges {
+		ae, be := a.Edge[blk], b.Edge[blk]
+		n := len(ae)
+		if len(be) > n {
+			n = len(be)
+		}
+		for i := 0; i < n; i++ {
+			var av, bv int64
+			if i < len(ae) {
+				av = ae[i]
+			}
+			if i < len(be) {
+				bv = be[i]
+			}
+			if av != bv {
+				return fmt.Sprintf("edge %s[%d]: fast=%d ref=%d", blk, i, av, bv), false
+			}
+		}
+	}
+	return "", true
+}
+
+// CheckTransparency is the instrumentation-transparency property: on a
+// fault-free run the instrumented program must be observationally
+// identical to the uninstrumented one — same return value, same final
+// memory and output. Base instruction counts are checked as a lower
+// bound only: checkpoints of call-summarized stores materialize their
+// address through a plain OpGlobal/OpFrame/OpConst instruction, which the
+// runtime's base/checkpoint split deliberately books as base work.
+func CheckTransparency(p Params) error {
+	p = p.Normalized()
+	mod := Generate(p)
+	gm := interp.New(mod, interp.Config{MaxInstrs: oracleBudget})
+	defer gm.Release()
+	gret, err := gm.Run()
+	if err != nil {
+		return &Counterexample{Oracle: "generator", Params: p,
+			Detail: fmt.Sprintf("fault-free run failed: %v", err), IR: mod.String()}
+	}
+	golden := stateOf(gm, gret)
+	goldenCount := gm.Count
+
+	cfg := core.DefaultConfig()
+	cfg.Budget = 10
+	cfg.Interp.MaxInstrs = oracleBudget
+	if p.Profiled {
+		cfg.AliasMode = alias.Profiled
+	}
+	res, err := core.Compile(mod, cfg)
+	if err != nil {
+		return &Counterexample{Oracle: "compile", Params: p, Detail: err.Error(), IR: mod.String()}
+	}
+	m := interp.New(res.Mod, interp.Config{MaxInstrs: oracleBudget})
+	defer m.Release()
+	m.SetRuntime(res.Metas)
+	ret, err := m.Run()
+	if err != nil {
+		return &Counterexample{Oracle: "transparency", Params: p,
+			Detail: fmt.Sprintf("instrumented run failed: %v", err), IR: res.Mod.String()}
+	}
+	if got := stateOf(m, ret); got != golden {
+		return &Counterexample{Oracle: "transparency", Params: p,
+			Detail: fmt.Sprintf("instrumented fault-free run diverged: got ret=%d sum=%#x, want ret=%d sum=%#x",
+				got.ret, got.sum, golden.ret, golden.sum), IR: res.Mod.String()}
+	}
+	if m.BaseCount < goldenCount || m.Count < m.BaseCount {
+		return &Counterexample{Oracle: "transparency", Params: p,
+			Detail: fmt.Sprintf("instrumented counts implausible: base %d (uninstrumented %d), total %d",
+				m.BaseCount, goldenCount, m.Count), IR: res.Mod.String()}
+	}
+	return nil
+}

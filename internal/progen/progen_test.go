@@ -1,0 +1,138 @@
+package progen
+
+import (
+	"testing"
+
+	"encore/internal/interp"
+)
+
+// shapes are the parameter mixes the deterministic sweeps cycle through:
+// loop-heavy, store/alias-heavy, call-heavy with externs, break-heavy
+// multi-exit, and a frame-focused mix.
+var shapes = []Params{
+	{Depth: 3, Stmts: 6, Globals: 3, GlobalWords: 16, LoopDensity: 6, StoreDensity: 4, AliasDensity: 2},
+	{Depth: 2, Stmts: 7, Globals: 2, GlobalWords: 8, StoreDensity: 7, AliasDensity: 6, LoopDensity: 2},
+	{Depth: 2, Stmts: 6, Helpers: 2, CallDensity: 6, Globals: 2, GlobalWords: 16, StoreDensity: 3, Externs: true},
+	{Depth: 3, Stmts: 5, Globals: 1, GlobalWords: 32, LoopDensity: 5, BreakDensity: 6, StoreDensity: 3},
+	{Depth: 2, Stmts: 6, Globals: 2, GlobalWords: 8, FrameSlots: 4, StoreDensity: 5, LoopDensity: 3},
+}
+
+func shapeFor(seed uint64) Params {
+	p := shapes[int(seed)%len(shapes)]
+	p.Seed = seed
+	return p
+}
+
+// TestGenerateDeterministic pins the generator's core contract: equal
+// Params produce bit-identical modules.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		p := shapeFor(seed)
+		a, b := Generate(p), Generate(p)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: two generations differ:\n%s\n----\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestGenerateWellFormed checks that every generated module verifies and
+// terminates within the oracle budget, and that the sweep is not
+// dominated by trivial programs.
+func TestGenerateWellFormed(t *testing.T) {
+	n := uint64(60)
+	if testing.Short() {
+		n = 15
+	}
+	nontrivial := 0
+	for seed := uint64(0); seed < n; seed++ {
+		p := shapeFor(seed)
+		mod := Generate(p)
+		if err := mod.Verify(); err != nil {
+			t.Fatalf("seed %d: generated module invalid: %v\n%s", seed, err, mod)
+		}
+		m := interp.New(mod, interp.Config{MaxInstrs: oracleBudget})
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("seed %d: run failed: %v\n%s", seed, err, mod)
+		}
+		if m.Count >= minDynInstrs {
+			nontrivial++
+		}
+		m.Release()
+	}
+	if nontrivial < int(n)*3/4 {
+		t.Fatalf("only %d/%d generated programs are non-trivial", nontrivial, n)
+	}
+}
+
+// TestParamsFromBytes checks the fuzz-input mapping: stable on repeated
+// calls, total on empty/short inputs, and always normalized.
+func TestParamsFromBytes(t *testing.T) {
+	inputs := [][]byte{nil, {}, {1}, {255, 254, 253}, []byte("0123456789abcdefghijk"),
+		{0, 0, 0, 0, 0, 0, 0, 0, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}}
+	for _, in := range inputs {
+		p := ParamsFromBytes(in)
+		if q := ParamsFromBytes(in); p != q {
+			t.Fatalf("mapping unstable for %v: %+v vs %+v", in, p, q)
+		}
+		if p != p.Normalized() {
+			t.Fatalf("ParamsFromBytes(%v) = %+v not normalized", in, p)
+		}
+		if Generate(p) == nil {
+			t.Fatalf("Generate(%+v) returned nil", p)
+		}
+	}
+}
+
+// TestOraclesSweep runs all four oracles over a deterministic seed sweep —
+// the non-fuzz smoke that keeps the oracles themselves exercised by plain
+// `go test`. It also guards against vacuity: across the sweep the
+// fault-driven oracles must actually verify a healthy number of covered
+// rollbacks.
+func TestOraclesSweep(t *testing.T) {
+	n := uint64(18)
+	if testing.Short() {
+		n = 6
+	}
+	idemVerified, recVerified := 0, 0
+	for seed := uint64(0); seed < n; seed++ {
+		p := shapeFor(seed)
+		v, err := CheckIdempotence(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idemVerified += v
+		v, err = CheckRecovery(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recVerified += v
+		if err := CheckEngines(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckTransparency(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if idemVerified < int(n) || recVerified < int(n) {
+		t.Fatalf("sweep near-vacuous: %d phantom rollbacks, %d recoveries verified over %d programs",
+			idemVerified, recVerified, n)
+	}
+	t.Logf("verified %d phantom rollbacks, %d covered recoveries over %d programs",
+		idemVerified, recVerified, n)
+}
+
+// TestProfiledModeOracles re-runs the engine and transparency oracles
+// under the Profiled alias mode, which adds the address-observation run
+// and conflict-driven CP pruning to the pipeline under test.
+func TestProfiledModeOracles(t *testing.T) {
+	for seed := uint64(100); seed < 106; seed++ {
+		p := shapeFor(seed)
+		p.Profiled = true
+		if err := CheckEngines(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckTransparency(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

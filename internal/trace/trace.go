@@ -179,11 +179,11 @@ func (r *TargetRecorder) OnInstr(m *interp.Machine, b *ir.Block, idx int) {
 	if len(r.Marks) >= r.Cap {
 		return
 	}
-	if idx < len(b.Instrs) && b.Instrs[idx].Op == ir.OpSetRecovery {
+	if idx < len(b.Instrs) && b.Instrs[idx].Op == ir.OpSetRecovery && b.Instrs[idx].Imm >= 0 {
 		r.seq++
 		r.cur = r.seq
 	} else if !r.selectedInit[b] {
-		r.cur = 0 // left protected code
+		r.cur = 0 // left protected code (disarms land here: negative IDs)
 	}
 	r.Instance = append(r.Instance, r.cur)
 	r.Recorder.OnInstr(m, b, idx)

@@ -1,0 +1,38 @@
+package xform_test
+
+import (
+	"testing"
+
+	"encore/internal/progen"
+)
+
+// TestInstrumentationTransparency is the property test for the xform
+// layer's core contract: on a fault-free run, instrumentation must not
+// change program semantics. For a sweep of generated programs it runs the
+// uninstrumented module to completion, compiles the same module with the
+// full pipeline (region formation, idempotence analysis, checkpoint
+// placement, recovery blocks), and asserts the instrumented run produces
+// an identical return value and memory/output checksum while performing
+// at least as much base work. The check lives in progen so the fuzz
+// harness and this sweep share one oracle.
+func TestInstrumentationTransparency(t *testing.T) {
+	n := uint64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := uint64(0); seed < n; seed++ {
+		p := progen.Params{Seed: seed}.Normalized()
+		// Rotate the shape knobs with the seed so the sweep crosses loops,
+		// aliasing stores, calls, and frame traffic.
+		p.Depth = 1 + int(seed%3)
+		p.LoopDensity = int(seed * 3 % 8)
+		p.StoreDensity = int(seed*5%6) + 2
+		p.AliasDensity = int(seed * 7 % 8)
+		p.CallDensity = int(seed % 5)
+		p.Helpers = int(seed % 3)
+		p.FrameSlots = int64(seed % 5)
+		if err := progen.CheckTransparency(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

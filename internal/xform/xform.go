@@ -16,6 +16,19 @@
 // iteration granularity. Together with the fixed-slot constraint enforced
 // during region selection (no CP store in a nested loop), this keeps each
 // region's checkpoint buffer at the paper's 10-100 byte scale (Table 1).
+//
+// Headers of UNSELECTED regions in an instrumented function get a disarm
+// instead: OpSetRecovery with a negative region ID, clearing the frame's
+// recovery pointer. Regions partition a function's blocks and every
+// region-exit edge lands on another region's header (single-entry), so
+// without the disarm a selected region's arm would stay live while
+// control traverses an unselected region whose stores were never
+// analyzed — a fault detected there (or at the selected header's
+// boundary, before its re-arm executes) would roll back across
+// uncheckpointed state and silently corrupt the run. With the disarm,
+// an armed window is always confined to the armed region's own blocks
+// and faults landing in unselected code report as unrecoverable, which
+// is exactly what the coverage model (Eq. 7) predicts for them.
 package xform
 
 import (
@@ -42,6 +55,9 @@ type RegionStats struct {
 // Stats aggregates instrumentation over a module.
 type Stats struct {
 	Regions []RegionStats
+	// Disarms counts the recovery-pointer clears prepended to unselected
+	// region headers in instrumented functions.
+	Disarms int
 }
 
 // TotalMemCkpts sums memory checkpoint sites.
@@ -71,9 +87,12 @@ func Instrument(mod *ir.Module, regions []*region.Region) ([]interp.RegionMeta, 
 	var metas []interp.RegionMeta
 
 	byFunc := map[*ir.Func][]*region.Region{}
+	unselByFunc := map[*ir.Func][]*region.Region{}
 	for _, r := range regions {
 		if r.Selected {
 			byFunc[r.Fn] = append(byFunc[r.Fn], r)
+		} else {
+			unselByFunc[r.Fn] = append(unselByFunc[r.Fn], r)
 		}
 	}
 
@@ -148,6 +167,18 @@ func Instrument(mod *ir.Module, regions []*region.Region) ([]interp.RegionMeta, 
 			}
 			metas = append(metas, interp.RegionMeta{ID: r.ID, Fn: f, Header: header, Recovery: recover, Policy: policy})
 			stats.Regions = append(stats.Regions, *st)
+		}
+
+		// Phase 3: disarm at every unselected region header, so a selected
+		// region's arm cannot survive an exit into code whose stores were
+		// never analyzed (see the package comment).
+		unsel := unselByFunc[f]
+		sort.Slice(unsel, func(i, j int) bool { return unsel[i].ID < unsel[j].ID })
+		for _, r := range unsel {
+			r.Header.Instrs = append([]ir.Instr{{
+				Op: ir.OpSetRecovery, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg, Imm: -1}},
+				r.Header.Instrs...)
+			stats.Disarms++
 		}
 		f.Recompute()
 	}

@@ -2,7 +2,8 @@
 # Repository health gate: formatting, vet, doc-comment lint, the full
 # test suite, the race detector over the packages that run concurrent
 # machinery (the obs registry, the SFI trial pool, and the experiments
-# compile cache / worker pool), plus command smoke runs that exercise
+# compile cache / worker pool), a short-budget run of the generative
+# fuzz oracles (internal/progen), plus command smoke runs that exercise
 # the observability flags end to end.
 #
 # Usage: scripts/check.sh   (or: make check)
@@ -30,8 +31,11 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/obs ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib"
-go test -race ./internal/obs ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib
+echo "==> go test -race ./internal/obs ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen"
+go test -race ./internal/obs ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen
+
+echo "==> fuzz smoke (generative oracles, ${FUZZTIME:-10s} per target)"
+make -s fuzz-smoke FUZZTIME="${FUZZTIME:-10s}"
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
