@@ -9,8 +9,14 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the repository micro-benchmarks and then regenerates the
+# perf-trajectory record: BENCH_pr5.json is the encore-bench -json report
+# (quick mode), whose compile_ns/analyze_ns/finalize_ns fields expose the
+# staged pipeline's analysis-reuse ratio across the full experiment run.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) test ./internal/core ./internal/idem -run '^$$' -bench '.' -benchmem
+	$(GO) run ./cmd/encore-bench -quick -json BENCH_pr5.json > /dev/null
 
 # Short-budget run of the generative oracles (internal/progen): each fuzz
 # target replays its checked-in corpus and then explores for FUZZTIME.

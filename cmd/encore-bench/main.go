@@ -53,6 +53,16 @@ type report struct {
 	TotalWallMS float64     `json:"total_wall_ms"`
 	Experiments []expReport `json:"experiments"`
 
+	// Staged-pipeline wall-clock totals, summed across every compile of
+	// the run (from the "compile", "compile/analyze", and
+	// "compile/finalize" span aggregates). CompileNS covers only full
+	// core.Compile calls; sweeps that replay a memoized analysis appear
+	// under FinalizeNS without a matching AnalyzeNS share, which is the
+	// reuse these fields exist to make visible.
+	CompileNS  int64 `json:"compile_ns"`
+	AnalyzeNS  int64 `json:"analyze_ns"`
+	FinalizeNS int64 `json:"finalize_ns"`
+
 	// Metrics embeds the end-of-run observability snapshot, so a single
 	// -json artifact carries results and the counters/spans behind them.
 	// The standalone -metrics flag still works independently.
@@ -163,6 +173,17 @@ func runBench(argv []string, stdout io.Writer) error {
 	}
 	rep.TotalWallMS = float64(time.Since(total).Microseconds()) / 1000
 	rep.Metrics = reg.Snapshot()
+	for _, sp := range rep.Metrics.Spans {
+		ns := int64(sp.TotalMS * 1e6)
+		switch sp.Name {
+		case "compile":
+			rep.CompileNS = ns
+		case "compile/analyze":
+			rep.AnalyzeNS = ns
+		case "compile/finalize":
+			rep.FinalizeNS = ns
+		}
+	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&rep, "", "  ")

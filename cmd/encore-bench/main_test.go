@@ -51,13 +51,16 @@ func TestMetricsJSON(t *testing.T) {
 		return set
 	}
 	spans := nameSet("spans")
-	for _, want := range []string{"bench/table1", "compile", "compile/profile", "compile/select"} {
+	// The harness compiles through the staged pipeline: analysis and
+	// finalization report as separate span roots (a monolithic "compile"
+	// span appears only for direct core.Compile calls).
+	for _, want := range []string{"bench/table1", "compile/analyze", "compile/analyze/profile", "compile/finalize", "compile/finalize/select"} {
 		if !spans[want] {
 			t.Errorf("missing span %q (have %v)", want, spans)
 		}
 	}
 	counters := nameSet("counters")
-	for _, want := range []string{"compile.runs", "compile.region.candidates", "interp.instrs.total"} {
+	for _, want := range []string{"compile.analyze.runs", "compile.finalize.runs", "compile.region.candidates", "interp.instrs.total"} {
 		if !counters[want] {
 			t.Errorf("missing counter %q", want)
 		}
@@ -79,6 +82,9 @@ func TestJSONReportEmbedsMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	var rep struct {
+		AnalyzeNS  int64 `json:"analyze_ns"`
+		FinalizeNS int64 `json:"finalize_ns"`
+
 		Experiments []struct {
 			Name string `json:"name"`
 		} `json:"experiments"`
@@ -100,11 +106,14 @@ func TestJSONReportEmbedsMetrics(t *testing.T) {
 	}
 	found := false
 	for _, c := range rep.Metrics.Counters {
-		if c.Name == "compile.runs" && c.Value > 0 {
+		if c.Name == "compile.analyze.runs" && c.Value > 0 {
 			found = true
 		}
 	}
 	if !found {
-		t.Error("embedded snapshot lacks a positive compile.runs counter")
+		t.Error("embedded snapshot lacks a positive compile.analyze.runs counter")
+	}
+	if rep.AnalyzeNS <= 0 || rep.FinalizeNS <= 0 {
+		t.Errorf("staged timing fields not populated: analyze_ns=%d finalize_ns=%d", rep.AnalyzeNS, rep.FinalizeNS)
 	}
 }

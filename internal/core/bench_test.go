@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"encore/internal/interp"
+	"encore/internal/obs"
+	"encore/internal/profile"
+	"encore/internal/workload"
+)
+
+// BenchmarkCompileModule measures the full staged pipeline — Analyze
+// (profile, alias, region dataflow) plus Finalize (selection,
+// instrumentation, measurement) — per benchmark suite representative,
+// including the workload build.
+func BenchmarkCompileModule(b *testing.B) {
+	for _, name := range []string{"164.gzip", "183.equake", "mpeg2enc"} {
+		b.Run(name, func(b *testing.B) {
+			sp, err := workload.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Obs = obs.NewRegistry()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				art := sp.Build()
+				if _, err := Compile(art.Mod, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeParallel isolates the analysis half (the per-function
+// region fan-out) by pre-collecting the baseline profile, and compares
+// workers=1 against GOMAXPROCS. The module is built once and reused —
+// Analyze without Optimize only reads it — so iterations measure the
+// dataflow, not the build or the profiling run.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	for _, name := range []string{"183.equake", "mpeg2enc"} {
+		sp, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		art := sp.Build()
+		prof, err := profile.Collect(art.Mod, interp.Config{Obs: obs.NewRegistry()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				cfg := DefaultConfig()
+				cfg.Workers = workers
+				cfg.Profile = prof
+				cfg.Obs = obs.NewRegistry()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := Analyze(art.Mod, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

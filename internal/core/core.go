@@ -4,10 +4,19 @@
 // applies the γ/η selection heuristics within a performance budget,
 // instruments the module for rollback recovery, and measures the real
 // dynamic-instruction overhead by re-running the instrumented program.
+//
+// The pipeline is staged: Analyze covers everything up to and including
+// region formation (it depends only on the module, AliasMode, Pmin and
+// Eta) and fans the per-function idempotence analysis out over a bounded
+// worker pool; Finalize applies the γ/budget selection, instruments, and
+// measures. Compile is their composition. Parameter sweeps that vary only
+// γ or the budget can run Analyze once and Finalize per config point —
+// see Analysis.Snapshot/Replay.
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"encore/internal/alias"
 	"encore/internal/idem"
@@ -18,6 +27,7 @@ import (
 	"encore/internal/opt"
 	"encore/internal/profile"
 	"encore/internal/region"
+	"encore/internal/workpool"
 	"encore/internal/xform"
 )
 
@@ -66,6 +76,15 @@ type Config struct {
 	// Nil selects obs.Default(), so command-level -metrics dumps see
 	// every compile without explicit plumbing.
 	Obs *obs.Registry
+
+	// Workers bounds the per-function analysis fan-out of the regions
+	// stage. Zero (the default) consults the ENCORE_WORKERS environment
+	// override and falls back to GOMAXPROCS; the value is normalized via
+	// workpool.Clamp (the sfi.ClampWorkers convention). Results are
+	// bit-identical for every worker count
+	// (per-function outputs are collected positionally), so Workers is a
+	// pure throughput knob and is excluded from result cache keys.
+	Workers int
 }
 
 // DefaultConfig returns the paper's headline configuration: Pmin = 0.0,
@@ -99,11 +118,42 @@ type Result struct {
 	RegionEntries    int64
 }
 
-// Compile runs the full pipeline on mod, instrumenting it in place.
-func Compile(mod *ir.Module, cfg Config) (*Result, error) {
+// Analysis is the output of the γ/budget-independent front half of the
+// pipeline: the profiled module with its formed (but not yet selected or
+// instrumented) recovery regions. One Analysis supports one Finalize —
+// selection and instrumentation mutate the regions and the module — so
+// parameter sweeps snapshot it once and replay onto fresh builds
+// (Snapshot/Replay in snapshot.go).
+type Analysis struct {
+	Mod *ir.Module
+	// Cfg is the configuration Analyze ran under; Finalize reuses its
+	// analysis-stage fields and takes only γ/budget (and the measurement
+	// knobs) from its own argument.
+	Cfg        Config
+	Prof       *profile.Data
+	Regions    []*region.Region
+	Candidates []*region.Region
+}
+
+// Analyze runs the analysis half of the pipeline: verify → optimize →
+// profile → alias analysis → region formation + idempotence dataflow →
+// (Profiled mode only) conflict observation. It depends on the module and
+// on the AliasMode/Pmin/Eta/Optimize fields of cfg, but not on γ or the
+// budget. The module is mutated only by the Optimize passes.
+//
+// The per-function regions stage runs on a bounded worker pool (see
+// Config.Workers). This is safe because everything the workers share is
+// read-only by construction: the alias.ModuleInfo is fully built (and,
+// in Profiled mode, has its observations attached) before fan-out and is
+// never written afterwards; profile.Data is only read; cfg/ir structures
+// are only read. Each worker builds its own idem.Env (the only mutable
+// analysis state), and per-function outputs are collected positionally,
+// so region order, module-unique region IDs, and the obs class counters
+// are identical for every worker count.
+func Analyze(mod *ir.Module, cfg Config) (*Analysis, error) {
 	reg := obs.Or(cfg.Obs)
-	reg.Counter("compile.runs").Inc()
-	root := reg.Span("compile")
+	reg.Counter("compile.analyze.runs").Inc()
+	root := reg.Span("compile/analyze")
 	defer root.End()
 
 	if err := mod.Verify(); err != nil {
@@ -140,18 +190,56 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	spAlias.End()
 
 	spRegions := root.Child("regions")
-	var regions, candidates []*region.Region
+	work := make([]*ir.Func, 0, len(mod.Funcs))
 	for _, f := range mod.Funcs {
 		if len(f.Blocks) == 0 || f.Opaque {
 			continue
 		}
+		work = append(work, f)
+	}
+	type funcOut struct {
+		final, cand []*region.Region
+	}
+	outs := make([]funcOut, len(work))
+	analyzeFunc := func(i int) {
+		f := work[i]
 		env := idem.NewEnv(f, mi, cfg.AliasMode)
 		if cfg.UsePmin {
 			env.WithProfile(prof.Freq, cfg.Pmin)
 		}
 		fin, cand := region.Form(f, env, prof, region.FormConfig{Eta: cfg.Eta, Obs: reg})
-		regions = append(regions, fin...)
-		candidates = append(candidates, cand...)
+		outs[i] = funcOut{fin, cand}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = workpool.FromEnv()
+	}
+	if workers = workpool.Clamp(workers, len(work)); workers <= 1 {
+		for i := range work {
+			analyzeFunc(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					analyzeFunc(i)
+				}
+			}()
+		}
+		for i := range work {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	var regions, candidates []*region.Region
+	for _, o := range outs {
+		regions = append(regions, o.final...)
+		candidates = append(candidates, o.cand...)
 	}
 	// Region IDs must be module-unique for the runtime metadata.
 	for i, r := range regions {
@@ -170,27 +258,47 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: conflict profiling: %w", err)
 		}
 	}
+	return &Analysis{Mod: mod, Cfg: cfg, Prof: prof, Regions: regions, Candidates: candidates}, nil
+}
+
+// Finalize runs the decision half of the pipeline on an Analysis: γ/budget
+// selection, instrumentation, and the measurement run. Only the Gamma,
+// Budget, Interp, and Obs fields of cfg are consulted — the analysis-stage
+// knobs are fixed by the Analysis itself. Finalize mutates the analysis
+// (Selected bits, instrumented module), so it must be called at most once
+// per Analysis; sweeps replay a Snapshot instead.
+func (a *Analysis) Finalize(cfg Config) (*Result, error) {
+	eff := a.Cfg
+	eff.Gamma, eff.Budget = cfg.Gamma, cfg.Budget
+	eff.Interp = cfg.Interp
+	eff.Obs = cfg.Obs
+	reg := obs.Or(eff.Obs)
+	reg.Counter("compile.finalize.runs").Inc()
+	root := reg.Span("compile/finalize")
+	defer root.End()
 
 	spSel := root.Child("select")
-	est := region.Select(regions, prof, region.SelectConfig{Gamma: cfg.Gamma, Budget: cfg.Budget, Obs: reg})
+	est := region.Select(a.Regions, a.Prof, region.SelectConfig{Gamma: eff.Gamma, Budget: eff.Budget, Obs: reg})
 	spSel.End()
 
 	spInstr := root.Child("instrument")
-	metas, stats, err := xform.Instrument(mod, regions)
+	metas, stats, err := xform.Instrument(a.Mod, a.Regions)
 	spInstr.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 
 	res := &Result{
-		Mod: mod, Cfg: cfg, Prof: prof, Regions: regions, Candidates: candidates,
+		Mod: a.Mod, Cfg: eff, Prof: a.Prof, Regions: a.Regions, Candidates: a.Candidates,
 		Metas: metas, Stats: stats, EstOverhead: est,
 	}
 
 	// Measurement run on the instrumented module.
 	spMeas := root.Child("measure")
 	defer spMeas.End()
-	m := interp.New(mod, ic)
+	ic := eff.Interp
+	ic.Obs = reg
+	m := interp.New(a.Mod, ic)
 	defer m.Release()
 	m.SetRuntime(metas)
 	if _, err := m.Run(); err != nil {
@@ -205,6 +313,21 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	res.CkptMemBytes = m.CkptMemBytes
 	res.RegionEntries = m.RegionEntries
 	return res, nil
+}
+
+// Compile runs the full pipeline on mod, instrumenting it in place. It is
+// exactly Analyze followed by Finalize under one "compile" span.
+func Compile(mod *ir.Module, cfg Config) (*Result, error) {
+	reg := obs.Or(cfg.Obs)
+	reg.Counter("compile.runs").Inc()
+	root := reg.Span("compile")
+	defer root.End()
+
+	a, err := Analyze(mod, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Finalize(cfg)
 }
 
 // recordClassCounts folds the idempotence breakdown of the candidate

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"encore/internal/obs"
+	"encore/internal/region"
+	"encore/internal/workload"
+)
+
+// regionFingerprint renders everything observable about a formed region —
+// identity, membership, analysis verdict, CP contents in order, selection
+// and cost metrics — into one comparable line.
+func regionFingerprint(r *region.Region) string {
+	blocks := make([]int, 0, len(r.Blocks))
+	for b := range r.Blocks {
+		blocks = append(blocks, b.ID)
+	}
+	sort.Ints(blocks)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "id=%d fn=%s hdr=%d blocks=%v lvl=%d class=%v sel=%v unprot=%v pruned=%d",
+		r.ID, r.Fn.Name, r.Header.ID, blocks, r.Level, r.Analysis.Class, r.Selected,
+		r.Analysis.Unprotectable, r.Analysis.PrunedBlocks)
+	fmt.Fprintf(&sb, " regckpts=%v hot=%d ckptonhot=%d dyn=%d entries=%d multi=%v",
+		r.RegCkpts, r.HotLen, r.CkptOnHot, r.DynInstrs, r.DynEntries, r.MultiCkpt)
+	for _, s := range r.Analysis.CP {
+		fmt.Fprintf(&sb, " cp=(b%d,i%d,call=%v,%v)", s.Pos.Block.ID, s.Pos.Index, s.FromCall, s.Loc)
+	}
+	return sb.String()
+}
+
+func fingerprints(regions []*region.Region) []string {
+	out := make([]string, len(regions))
+	for i, r := range regions {
+		out[i] = regionFingerprint(r)
+	}
+	return out
+}
+
+// resultFingerprint renders the scalar outcome of a compile.
+func resultFingerprint(res *Result) string {
+	return fmt.Sprintf("est=%.9f base=%d total=%d meas=%.9f regbytes=%d membytes=%d entries=%d metas=%d stats=%+v",
+		res.EstOverhead, res.BaselineInstrs, res.TotalInstrs, res.MeasuredOverhead,
+		res.CkptRegBytes, res.CkptMemBytes, res.RegionEntries, len(res.Metas), *res.Stats)
+}
+
+// counterFingerprint renders a registry's counter section (spans carry
+// wall-clock timings and are legitimately nondeterministic; counters are
+// not).
+func counterFingerprint(reg *obs.Registry) string {
+	var sb strings.Builder
+	for _, c := range reg.Snapshot().Counters {
+		fmt.Fprintf(&sb, "%s=%d\n", c.Name, c.Value)
+	}
+	return sb.String()
+}
+
+func compareFingerprints(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d regions vs %d", label, len(want), len(got))
+		return
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s[%d]:\n  want %s\n  got  %s", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestParallelDeterminism pins the fan-out contract of Config.Workers:
+// every worker count produces a bit-identical compile — same Result
+// scalars, same regions (IDs, membership, classes, CP order, selection),
+// and the same metrics counters — across the whole benchmark set.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	for _, sp := range workload.All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			var wantRegions, wantCands []string
+			var wantRes, wantCounters string
+			for _, workers := range []int{1, 4} {
+				art := sp.Build()
+				cfg := DefaultConfig()
+				cfg.Workers = workers
+				reg := obs.NewRegistry()
+				cfg.Obs = reg
+				res, err := Compile(art.Mod, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				regions, cands := fingerprints(res.Regions), fingerprints(res.Candidates)
+				rs, cs := resultFingerprint(res), counterFingerprint(reg)
+				if workers == 1 {
+					wantRegions, wantCands, wantRes, wantCounters = regions, cands, rs, cs
+					continue
+				}
+				compareFingerprints(t, fmt.Sprintf("workers=%d regions", workers), wantRegions, regions)
+				compareFingerprints(t, fmt.Sprintf("workers=%d candidates", workers), wantCands, cands)
+				if rs != wantRes {
+					t.Errorf("workers=%d result:\n  want %s\n  got  %s", workers, wantRes, rs)
+				}
+				if cs != wantCounters {
+					t.Errorf("workers=%d counters diverge:\n--- workers=1\n%s--- workers=%d\n%s", workers, wantCounters, workers, cs)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayMatchesFresh pins the snapshot contract: Analyze → Snapshot →
+// Replay onto a fresh build → Finalize is indistinguishable from a direct
+// Compile, for every benchmark. (Counters are not compared here: a replay
+// deliberately skips the analysis-stage work.)
+func TestReplayMatchesFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	for _, sp := range workload.All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Obs = obs.NewRegistry()
+
+			fresh, err := Compile(sp.Build().Mod, cfg)
+			if err != nil {
+				t.Fatalf("fresh compile: %v", err)
+			}
+
+			a, err := Analyze(sp.Build().Mod, cfg)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			snap, err := a.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			replayed, err := snap.Replay(sp.Build().Mod)
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			res, err := replayed.Finalize(cfg)
+			if err != nil {
+				t.Fatalf("finalize: %v", err)
+			}
+
+			compareFingerprints(t, "regions", fingerprints(fresh.Regions), fingerprints(res.Regions))
+			compareFingerprints(t, "candidates", fingerprints(fresh.Candidates), fingerprints(res.Candidates))
+			if want, got := resultFingerprint(fresh), resultFingerprint(res); want != got {
+				t.Errorf("result:\n  fresh  %s\n  replay %s", want, got)
+			}
+		})
+	}
+}

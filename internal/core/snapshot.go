@@ -1,0 +1,102 @@
+// Analysis snapshots: the module-independent image of a completed Analyze,
+// used by parameter sweeps to pay for the dataflow once per (module,
+// AliasMode, Pmin, Eta) point and replay it onto a fresh build for every
+// γ/budget configuration (Finalize mutates regions and the module, so each
+// config point needs its own copy — copy-on-finalize).
+package core
+
+import (
+	"fmt"
+
+	"encore/internal/ir"
+	"encore/internal/opt"
+	"encore/internal/profile"
+	"encore/internal/region"
+)
+
+// AnalysisSnapshot is a positionally re-keyed Analysis: regions and
+// profile survive a module rebuild (region.PortableRegion and
+// profile.Positional). It holds no pointers into the module it was taken
+// from.
+type AnalysisSnapshot struct {
+	// Cfg preserves the analysis-stage configuration; Replay re-applies
+	// its Optimize passes so block/function indices line up, and Finalize
+	// inherits its AliasMode/Pmin/Eta for Result reporting.
+	Cfg        Config
+	Prof       *profile.Positional
+	Regions    []region.PortableRegion
+	Candidates []region.PortableRegion
+	// CandAlias preserves pointer sharing between the two slices: entry i
+	// is the index in Regions that Candidates[i] aliased at snapshot time,
+	// or -1 for a candidate that was not adopted. Replay restores the
+	// sharing so a finalized replay is bit-identical to a fresh compile
+	// (selection marks adopted candidates through the shared pointer).
+	CandAlias []int32
+}
+
+// Snapshot encodes the analysis positionally against its own module. The
+// analysis stays usable (snapshotting reads but does not mutate), so one
+// Analyze can both Snapshot for later replays and Finalize directly.
+func (a *Analysis) Snapshot() (*AnalysisSnapshot, error) {
+	regions, err := region.Encode(a.Regions, a.Mod)
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis snapshot: %w", err)
+	}
+	candidates, err := region.Encode(a.Candidates, a.Mod)
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis snapshot: %w", err)
+	}
+	snap := &AnalysisSnapshot{Cfg: a.Cfg, Regions: regions, Candidates: candidates}
+	adopted := make(map[*region.Region]int32, len(a.Regions))
+	for i, r := range a.Regions {
+		adopted[r] = int32(i)
+	}
+	snap.CandAlias = make([]int32, len(a.Candidates))
+	for i, r := range a.Candidates {
+		if j, ok := adopted[r]; ok {
+			snap.CandAlias[i] = j
+		} else {
+			snap.CandAlias[i] = -1
+		}
+	}
+	snap.Cfg.Obs = nil     // snapshots are shared; registries are per-replay
+	snap.Cfg.Profile = nil // the positional profile below replaces it
+	if a.Prof != nil {
+		snap.Prof = a.Prof.Positional(a.Mod)
+	}
+	return snap, nil
+}
+
+// Replay materializes the snapshot onto mod, which must be a structurally
+// identical fresh build of the snapshotted module (deterministic workload
+// builds guarantee this; index bounds are checked). The returned Analysis
+// is independent of every other replay — Finalize may mutate it freely.
+// Replay re-runs the Optimize passes when the snapshot's configuration
+// had them enabled, so positional indices refer to the optimized layout.
+func (s *AnalysisSnapshot) Replay(mod *ir.Module) (*Analysis, error) {
+	if s.Cfg.Optimize {
+		opt.Optimize(mod)
+	}
+	regions, err := region.Materialize(s.Regions, mod)
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis replay: %w", err)
+	}
+	candidates, err := region.Materialize(s.Candidates, mod)
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis replay: %w", err)
+	}
+	for i, j := range s.CandAlias {
+		if j < 0 {
+			continue
+		}
+		if int(j) >= len(regions) {
+			return nil, fmt.Errorf("core: analysis replay: candidate alias %d out of range (%d regions)", j, len(regions))
+		}
+		candidates[i] = regions[j]
+	}
+	a := &Analysis{Mod: mod, Cfg: s.Cfg, Regions: regions, Candidates: candidates}
+	if s.Prof != nil {
+		a.Prof = s.Prof.Materialize(mod)
+	}
+	return a, nil
+}

@@ -9,7 +9,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"text/tabwriter"
 
@@ -19,6 +18,7 @@ import (
 	"encore/internal/ir"
 	"encore/internal/obs"
 	"encore/internal/profile"
+	"encore/internal/sfi"
 	"encore/internal/workload"
 )
 
@@ -139,12 +139,84 @@ func (h *Harness) compile(sp workload.Spec, cfg core.Config) (*core.Result, *wor
 	}
 	compileMu.Unlock()
 	e.once.Do(func() {
-		// Config sweeps (η, budget, γ, Pmin) only change decisions made
-		// after profiling, so all cached compiles of one app share a
-		// single baseline profiling run, replayed onto this build.
-		// Profiled alias mode collects its own run regardless, and
-		// Optimize would change the structure the profile is keyed on.
+		e.res, e.art, e.err = compileStaged(sp, cfg)
+	})
+	return e.res, e.art, e.err
+}
+
+// compileStaged is the staged-pipeline twin of compileFresh: it fetches
+// the memoized analysis snapshot for cfg's analysis-stage knobs and
+// replays it onto a fresh build for this γ/budget point, so config sweeps
+// that only vary post-analysis decisions never re-run the dataflow.
+// Replay hands each config point its own region copies — Finalize mutates
+// them (Selected bits, instrumentation) — while the snapshot stays
+// immutable and shared.
+func compileStaged(sp workload.Spec, cfg core.Config) (*core.Result, *workload.Artifact, error) {
+	snap, err := analysisSnapshot(sp, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	art := sp.Build()
+	a, err := snap.Replay(art.Mod)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", sp.Name, err)
+	}
+	res, err := a.Finalize(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", sp.Name, err)
+	}
+	return res, art, nil
+}
+
+// Analysis memoization, the second cache level: γ/budget only matter to
+// Finalize, so every compileCache entry that shares (app, Pmin, η, alias
+// mode, optimize) shares one core.Analyze — asserted by the
+// "compile.analyze.runs" counter. Like the compile cache it is
+// process-wide and each entry computes exactly once.
+var (
+	analysisMu    sync.Mutex
+	analysisCache = map[analysisKey]*analysisEntry{}
+)
+
+// analysisKey is compileKey minus the finalization knobs (γ, budget).
+type analysisKey struct {
+	app       string
+	pmin      float64
+	usePmin   bool
+	eta       float64
+	aliasMode alias.Mode
+	optimize  bool
+}
+
+type analysisEntry struct {
+	once sync.Once
+	snap *core.AnalysisSnapshot
+	err  error
+}
+
+func analysisSnapshot(sp workload.Spec, cfg core.Config) (*core.AnalysisSnapshot, error) {
+	key := analysisKey{
+		app:       sp.Name,
+		pmin:      cfg.Pmin,
+		usePmin:   cfg.UsePmin,
+		eta:       cfg.Eta,
+		aliasMode: cfg.AliasMode,
+		optimize:  cfg.Optimize,
+	}
+	analysisMu.Lock()
+	e := analysisCache[key]
+	if e == nil {
+		e = &analysisEntry{}
+		analysisCache[key] = e
+	}
+	analysisMu.Unlock()
+	e.once.Do(func() {
+		// All cached analyses of one app share a single baseline
+		// profiling run, replayed onto this build. Profiled alias mode
+		// collects its own run regardless, and Optimize would change the
+		// structure the profile is keyed on.
 		c := cfg
+		c.Obs = nil // shared work reports into the default registry
 		art := sp.Build()
 		if c.AliasMode != alias.Profiled && !c.Optimize {
 			pos, err := baselineProfile(sp)
@@ -154,14 +226,19 @@ func (h *Harness) compile(sp workload.Spec, cfg core.Config) (*core.Result, *wor
 			}
 			c.Profile = pos.Materialize(art.Mod)
 		}
-		res, err := core.Compile(art.Mod, c)
+		a, err := core.Analyze(art.Mod, c)
 		if err != nil {
 			e.err = fmt.Errorf("%s: %w", sp.Name, err)
 			return
 		}
-		e.res, e.art = res, art
+		snap, err := a.Snapshot()
+		if err != nil {
+			e.err = fmt.Errorf("%s: %w", sp.Name, err)
+			return
+		}
+		e.snap = snap
 	})
-	return e.res, e.art, e.err
+	return e.snap, e.err
 }
 
 // Baseline-profile memoization: one profiling run per app, shared by
@@ -202,16 +279,12 @@ func baselineProfile(sp workload.Spec) (*profile.Positional, error) {
 
 // forEachSpec runs fn over the benchmark set with a bounded worker pool
 // (each benchmark compiles and simulates independently), preserving the
-// suite order of results. The first error wins.
+// suite order of results. The pool size follows the sfi convention:
+// ENCORE_WORKERS overrides, otherwise GOMAXPROCS, clamped to the spec
+// count. The first error wins.
 func (h *Harness) forEachSpec(fn func(i int, sp workload.Spec) error) error {
 	specs := h.specs()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(specs) {
-		workers = len(specs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := sfi.ClampWorkers(sfi.EnvWorkers(), len(specs))
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	errs := make([]error, len(specs))

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"encore/internal/core"
+	"encore/internal/obs"
+	"encore/internal/workload"
+)
+
+// TestSweepAnalyzeOnce pins the staged pipeline's headline property: a
+// γ/budget sweep pays for analysis exactly once per (app, alias mode,
+// Pmin, η) key, with one finalization per config point. The η value is
+// deliberately odd so the analysis key is unique to this test — the
+// compile and analysis caches are process-global.
+func TestSweepAnalyzeOnce(t *testing.T) {
+	h := &Harness{Quick: true}
+	sp, err := workload.ByName("rawcaudio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.Default()
+	analyzeBefore := reg.Counter("compile.analyze.runs").Value()
+	finalizeBefore := reg.Counter("compile.finalize.runs").Value()
+	n := 0
+	for _, gamma := range []float64{0.5, 1.0, 2.0} {
+		for _, budget := range []float64{0.05, 0.10, 0.20} {
+			cfg := core.DefaultConfig()
+			cfg.Eta = 0.37 // unique analysis-cache key for this test
+			cfg.Gamma, cfg.Budget = gamma, budget
+			if _, _, err := h.compile(sp, cfg); err != nil {
+				t.Fatalf("compile gamma=%v budget=%v: %v", gamma, budget, err)
+			}
+			n++
+		}
+	}
+	if d := reg.Counter("compile.analyze.runs").Value() - analyzeBefore; d != 1 {
+		t.Errorf("sweep of %d config points ran analysis %d times, want exactly 1", n, d)
+	}
+	if d := reg.Counter("compile.finalize.runs").Value() - finalizeBefore; d != int64(n) {
+		t.Errorf("sweep of %d config points ran finalize %d times, want %d", n, d, n)
+	}
+}

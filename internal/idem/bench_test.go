@@ -1,0 +1,57 @@
+package idem
+
+import (
+	"testing"
+
+	"encore/internal/alias"
+	"encore/internal/ir"
+	"encore/internal/workload"
+)
+
+func instrCount(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// BenchmarkIdemDataflow measures the dense-bitset dataflow in isolation:
+// one Env per function (location interning and the per-block effects cache
+// are built once, as in the compiler), then a whole-function AnalyzeRegion
+// per iteration — the inner loop that region formation drives once per
+// candidate region. The subject is each suite representative's largest
+// function, which dominates the analysis cost.
+func BenchmarkIdemDataflow(b *testing.B) {
+	for _, name := range []string{"164.gzip", "183.equake", "mpeg2enc"} {
+		b.Run(name, func(b *testing.B) {
+			sp, err := workload.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			art := sp.Build()
+			mi := alias.AnalyzeModule(art.Mod)
+			var f *ir.Func
+			for _, fn := range art.Mod.Funcs {
+				if fn.Opaque || len(fn.Blocks) == 0 {
+					continue
+				}
+				if f == nil || instrCount(fn) > instrCount(f) {
+					f = fn
+				}
+			}
+			env := NewEnv(f, mi, alias.Static)
+			blocks := map[*ir.Block]bool{}
+			for _, blk := range f.Blocks {
+				blocks[blk] = true
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if res := env.AnalyzeRegion(f.Entry(), blocks); res == nil {
+					b.Fatal("nil result")
+				}
+			}
+		})
+	}
+}

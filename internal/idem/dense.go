@@ -1,0 +1,308 @@
+package idem
+
+import (
+	mathbits "math/bits"
+	"sort"
+
+	"encore/internal/alias"
+	"encore/internal/ir"
+)
+
+// This file implements the dense representation the dataflow equations run
+// on. All locations and stores a function can ever mention are interned
+// once per Env (the per-block effects are pruning-independent, so the
+// universe is fixed at NewEnv time); the RS/GA/EA sets of §3.1 then become
+// fixed-width []uint64 bitsets instead of per-block maps, and the
+// MayAlias/MustAlias relations become precomputed bitset rows. Transient
+// per-region sets come from a bump arena reset at every AnalyzeRegion, so
+// steady-state analysis does no per-block map or set allocation at all.
+
+// bits is a fixed-width bitset over one Env's interned universe (either
+// location IDs or store IDs; the two universes have distinct widths).
+type bits []uint64
+
+func (b bits) has(i int32) bool { return b[i>>6]&(1<<(uint32(i)&63)) != 0 }
+func (b bits) set(i int32)      { b[i>>6] |= 1 << (uint32(i) & 63) }
+
+// or accumulates o into b (same width).
+func (b bits) or(o bits) {
+	for w, v := range o {
+		b[w] |= v
+	}
+}
+
+// and intersects b with o in place (same width).
+func (b bits) and(o bits) {
+	for w := range b {
+		b[w] &= o[w]
+	}
+}
+
+func (b bits) empty() bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// intersects reports whether b and o share a set bit.
+func (b bits) intersects(o bits) bool {
+	for w, v := range o {
+		if b[w]&v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// forEach calls fn for every set bit in ascending ID order.
+func (b bits) forEach(fn func(i int32)) {
+	for w, v := range b {
+		for v != 0 {
+			fn(int32(w<<6 + mathbits.TrailingZeros64(v)))
+			v &= v - 1
+		}
+	}
+}
+
+func words(n int) int { return (n + 63) / 64 }
+
+// blockFX is the cached memory effect of one basic block, in dense form.
+// Effects depend only on the instruction stream and the module alias
+// summaries — never on the region under analysis or on Pmin pruning — so
+// they are computed once per Env and shared by every region and loop
+// summary.
+type blockFX struct {
+	as       []int32 // store IDs in instruction order (call effects included)
+	asLocs   bits    // locations of as (may-stores: call effects included)
+	mustLocs bits    // direct-store locations only (may guard / feed GA)
+	eaLocal  bits    // locally exposed load addresses
+	unknown  bool    // block has unboundable effects
+}
+
+// internLoc returns the dense ID for l, assigning one on first sight.
+func (e *Env) internLoc(l alias.Loc) int32 {
+	if id, ok := e.locID[l]; ok {
+		return id
+	}
+	id := int32(len(e.locs))
+	e.locID[l] = id
+	e.locs = append(e.locs, l)
+	return id
+}
+
+// internStore returns the dense ID for s, assigning one on first sight.
+func (e *Env) internStore(s StoreRef) int32 {
+	if id, ok := e.storeID[s]; ok {
+		return id
+	}
+	id := int32(len(e.stores))
+	e.storeID[s] = id
+	e.stores = append(e.stores, s)
+	e.storeLoc = append(e.storeLoc, e.internLoc(s.Loc))
+	return id
+}
+
+// buildEffects interns every location and store the function can mention
+// and caches the per-block effects. Stores are interned in block order ×
+// instruction order (call-summarized stores at one call site in a
+// deterministic location order), so store-ID order is exactly the
+// (Block.ID, Index) order the checkpoint set is reported in.
+func (e *Env) buildEffects(f *ir.Func) {
+	fi := e.MI.Info(f)
+	type rawFX struct {
+		as      []int32
+		must    []int32
+		ea      []int32
+		unknown bool
+	}
+	raw := make([]rawFX, len(f.Blocks))
+	for _, b := range f.Blocks {
+		r := &raw[b.ID]
+		guarded := alias.Set{} // locations direct-stored earlier within this block
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			pos := alias.InstrPos{Block: b, Index: i}
+			switch in.Op {
+			case ir.OpLoad:
+				loc := fi.RefOf(pos)
+				if !guarded.MustCovers(loc) {
+					r.ea = append(r.ea, e.internLoc(loc))
+				}
+			case ir.OpStore:
+				loc := fi.RefOf(pos)
+				r.as = append(r.as, e.internStore(StoreRef{Pos: pos, Loc: loc}))
+				r.must = append(r.must, e.internLoc(loc))
+				guarded.Add(loc)
+			case ir.OpCall:
+				sum := e.MI.Summaries[in.Callee]
+				st, ld, unk := alias.Instantiate(sum, fi.CallArgs[pos])
+				if unk {
+					r.unknown = true
+				}
+				// Callee load/store interleaving is unknown: expose loads
+				// first (conservative), then account stores. Summarized
+				// stores are may-stores (the callee might not take the path
+				// that executes them), so they join the store set but never
+				// guard later loads.
+				for l := range ld {
+					if !guarded.MustCovers(l) {
+						r.ea = append(r.ea, e.internLoc(l))
+					}
+				}
+				locs := make([]alias.Loc, 0, len(st))
+				for l := range st {
+					locs = append(locs, l)
+				}
+				sort.Slice(locs, func(i, j int) bool { return locLess(locs[i], locs[j]) })
+				for _, l := range locs {
+					r.as = append(r.as, e.internStore(StoreRef{Pos: pos, Loc: l, FromCall: true}))
+				}
+			case ir.OpExtern:
+				r.unknown = true
+				r.ea = append(r.ea, e.internLoc(alias.Unknown))
+				r.as = append(r.as, e.internStore(StoreRef{Pos: pos, Loc: alias.Unknown, FromCall: true}))
+			}
+		}
+	}
+	// Universe is now fixed; second pass builds the bitsets.
+	e.lw, e.sw = words(len(e.locs)), words(len(e.stores))
+	e.may = make([]bits, len(e.locs))
+	e.must = make([]bits, len(e.locs))
+	e.fx = make([]blockFX, len(f.Blocks))
+	for i := range raw {
+		r, fx := &raw[i], &e.fx[i]
+		fx.as = r.as
+		fx.unknown = r.unknown
+		fx.asLocs = make(bits, e.lw)
+		fx.mustLocs = make(bits, e.lw)
+		fx.eaLocal = make(bits, e.lw)
+		for _, s := range r.as {
+			fx.asLocs.set(e.storeLoc[s])
+		}
+		for _, l := range r.must {
+			fx.mustLocs.set(l)
+		}
+		for _, l := range r.ea {
+			fx.eaLocal.set(l)
+		}
+	}
+}
+
+// mayRow returns (building and caching on first use) the row of the
+// may-alias relation for location ID l: the set of location IDs that
+// may-alias it under the Env's mode.
+func (e *Env) mayRow(l int32) bits {
+	if r := e.may[l]; r != nil {
+		return r
+	}
+	r := make(bits, e.lw)
+	a := e.locs[l]
+	for j, b := range e.locs {
+		if alias.MayAlias(a, b, e.Mode) {
+			r.set(int32(j))
+		}
+	}
+	e.may[l] = r
+	return r
+}
+
+// mustRow is mayRow for the must-alias relation; ga.intersects(mustRow(l))
+// is exactly alias.Set.MustCovers(l) on the materialized sets.
+func (e *Env) mustRow(l int32) bits {
+	if r := e.must[l]; r != nil {
+		return r
+	}
+	r := make(bits, e.lw)
+	a := e.locs[l]
+	for j, b := range e.locs {
+		if alias.MustAlias(a, b) {
+			r.set(int32(j))
+		}
+	}
+	e.must[l] = r
+	return r
+}
+
+// locSet materializes an interned location bitset as an alias.Set (Result
+// fields and tests only — never on the analysis hot path).
+func (e *Env) locSet(b bits) alias.Set {
+	s := alias.Set{}
+	b.forEach(func(i int32) { s.Add(e.locs[i]) })
+	return s
+}
+
+// scratch bump-allocates a zeroed transient bitset from the per-Env arena.
+// The arena is reset at every AnalyzeRegion entry, so scratch sets must
+// never outlive the region analysis that allocated them (loop summaries,
+// which are cached across regions, use plain make instead).
+func (e *Env) scratch(w int) bits {
+	if e.arenaOff+w > len(e.arena) {
+		n := 2 * len(e.arena)
+		if n < 1024 {
+			n = 1024
+		}
+		if n < w {
+			n = w
+		}
+		// Previously returned slices keep the old backing array alive;
+		// only new allocations come from the fresh chunk.
+		e.arena = make([]uint64, n)
+		e.arenaOff = 0
+	}
+	b := bits(e.arena[e.arenaOff : e.arenaOff+w : e.arenaOff+w])
+	e.arenaOff += w
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+func (e *Env) resetArena() { e.arenaOff = 0 }
+
+// locLess is a deterministic total order on locations, used to fix the
+// interning (and therefore checkpoint-report) order of call-summarized
+// stores, which alias.Instantiate produces as an unordered set.
+func locLess(a, b alias.Loc) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	switch a.Kind {
+	case alias.KindGlobal:
+		if a.Global != b.Global {
+			return a.Global.Name < b.Global.Name
+		}
+	case alias.KindFrame:
+		if a.Fn != b.Fn {
+			return a.Fn.Name < b.Fn.Name
+		}
+	case alias.KindParam:
+		if a.Param != b.Param {
+			return a.Param < b.Param
+		}
+	}
+	if a.OffKnown != b.OffKnown {
+		return !a.OffKnown
+	}
+	if a.Off != b.Off {
+		return a.Off < b.Off
+	}
+	ao, bo := a.Obs, b.Obs
+	if (ao == nil) != (bo == nil) {
+		return ao == nil
+	}
+	if ao != nil {
+		if ao.Min != bo.Min {
+			return ao.Min < bo.Min
+		}
+		if ao.Max != bo.Max {
+			return ao.Max < bo.Max
+		}
+		if ao.Count != bo.Count {
+			return ao.Count < bo.Count
+		}
+	}
+	return false
+}

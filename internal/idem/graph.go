@@ -3,7 +3,6 @@ package idem
 import (
 	"sort"
 
-	"encore/internal/alias"
 	"encore/internal/cfg"
 	"encore/internal/ir"
 )
@@ -11,6 +10,7 @@ import (
 // node is one vertex of the hierarchical analysis graph: either a single
 // basic block or an entire (already summarized) loop collapsed to a
 // super-node, "treated as if it were simply another basic block" (§3.1.2).
+// All sets are dense bitsets over the Env's interned universe (dense.go).
 type node struct {
 	block *ir.Block    // non-nil for plain blocks
 	loop  *cfg.Loop    // non-nil for loop super-nodes
@@ -18,19 +18,21 @@ type node struct {
 
 	preds, succs []*node
 
-	// Effects.
-	as       []StoreRef // stores performed by this node (call effects included)
-	asLocs   alias.Set  // locations of as (may-stores: call effects included)
-	mustLocs alias.Set  // locations this node is guaranteed to overwrite:
+	// Effects (shared with the Env's per-block cache / loop summary —
+	// read-only here).
+	as       []int32 // store IDs performed by this node (call effects included)
+	asLocs   bits    // locations of as (may-stores: call effects included)
+	mustLocs bits    // locations this node is guaranteed to overwrite:
 	// direct stores only — a call-summarized store may sit on an untaken
-	// path inside the callee, so it can never guard a load or feed GA
-	eaLocal alias.Set // locally exposed load addresses
-	unknown bool      // node has unboundable effects
+	// path inside the callee, so it can never guard a load or feed GA.
+	// Nil for super-nodes (gaGain uses the loop-wide set instead).
+	eaLocal bits // locally exposed load addresses
+	unknown bool // node has unboundable effects
 
-	// Dataflow results.
-	rs map[StoreRef]bool // reachable stores at/after this node
-	ga alias.Set         // guaranteed-overwritten before reaching node
-	ea alias.Set         // exposed at/before this node (inclusive)
+	// Dataflow results (arena scratch; valid only within one analysis).
+	rs bits // reachable stores at/after this node (store universe)
+	ga bits // guaranteed-overwritten before reaching node
+	ea bits // exposed at/before this node (inclusive)
 }
 
 func (n *node) headerBlock() *ir.Block {
@@ -40,65 +42,12 @@ func (n *node) headerBlock() *ir.Block {
 	return n.loop.Header
 }
 
-// blockEffects extracts the memory effects of basic block b in instruction
-// order: exposed loads (loads not locally guarded by earlier same-block
-// stores), the store set, and instantiated callee effects.
-func (e *Env) blockEffects(n *node, b *ir.Block) {
-	fi := e.MI.Info(b.Fn)
-	n.asLocs = alias.Set{}
-	n.mustLocs = alias.Set{}
-	n.eaLocal = alias.Set{}
-	guarded := alias.Set{} // locations direct-stored earlier within this block
-	for i := range b.Instrs {
-		in := &b.Instrs[i]
-		pos := alias.InstrPos{Block: b, Index: i}
-		switch in.Op {
-		case ir.OpLoad:
-			loc := fi.RefOf(pos)
-			if !guarded.MustCovers(loc) {
-				n.eaLocal.Add(loc)
-			}
-		case ir.OpStore:
-			loc := fi.RefOf(pos)
-			n.as = append(n.as, StoreRef{Pos: pos, Loc: loc})
-			n.asLocs.Add(loc)
-			n.mustLocs.Add(loc)
-			guarded.Add(loc)
-		case ir.OpCall:
-			sum := e.MI.Summaries[in.Callee]
-			st, ld, unk := alias.Instantiate(sum, fi.CallArgs[pos])
-			if unk {
-				n.unknown = true
-			}
-			// Callee load/store interleaving is unknown: expose loads
-			// first (conservative), then account stores. Summarized
-			// stores are may-stores (the callee might not take the path
-			// that executes them), so they join the store set but never
-			// guard later loads.
-			for l := range ld {
-				if !guarded.MustCovers(l) {
-					n.eaLocal.Add(l)
-				}
-			}
-			for l := range st {
-				n.as = append(n.as, StoreRef{Pos: pos, Loc: l, FromCall: true})
-				n.asLocs.Add(l)
-			}
-		case ir.OpExtern:
-			n.unknown = true
-			n.eaLocal.Add(alias.Unknown)
-			n.as = append(n.as, StoreRef{Pos: pos, Loc: alias.Unknown, FromCall: true})
-			n.asLocs.Add(alias.Unknown)
-		}
-	}
-}
-
 // gaGain returns the addresses a node guarantees to have overwritten once
 // control has passed through it: every direct store of a basic block
 // (straight-line code always executes to the end; call-summarized stores
 // are only may-stores and do not qualify), or the loop-wide guaranteed
 // set for a super-node.
-func (n *node) gaGain() alias.Set {
+func (n *node) gaGain() bits {
 	if n.loop != nil {
 		return n.sum.ga
 	}
@@ -162,7 +111,8 @@ func (e *Env) buildGraph(header *ir.Block, blocks map[*ir.Block]bool, skip *cfg.
 			owner[b] = sn
 		}
 	}
-	// Plain block nodes, respecting the Pmin filter.
+	// Plain block nodes, respecting the Pmin filter. Effects come from the
+	// per-Env cache (dense.go) and are shared read-only between regions.
 	for b := range blocks {
 		if owner[b] != nil {
 			continue
@@ -170,8 +120,15 @@ func (e *Env) buildGraph(header *ir.Block, blocks map[*ir.Block]bool, skip *cfg.
 		if e.pruned(b, header) {
 			continue
 		}
-		n := &node{block: b}
-		e.blockEffects(n, b)
+		fx := &e.fx[b.ID]
+		n := &node{
+			block:    b,
+			as:       fx.as,
+			asLocs:   fx.asLocs,
+			mustLocs: fx.mustLocs,
+			eaLocal:  fx.eaLocal,
+			unknown:  fx.unknown,
+		}
 		owner[b] = n
 		nodes = append(nodes, n)
 	}
@@ -283,83 +240,66 @@ func topoSort(nodes []*node, entry *node) ([]*node, bool) {
 }
 
 // runDataflow computes GA/EA forward (Equations 2–3) and RS backward
-// (Equation 1) over a topologically ordered acyclic node graph.
-func runDataflow(order []*node, mode alias.Mode) {
+// (Equation 1) over a topologically ordered acyclic node graph. All sets
+// are arena scratch bitsets; the alias mode is folded into the Env's
+// cached may/must relation rows.
+func runDataflow(order []*node, e *Env) {
+	through := e.scratch(e.lw)
 	// Forward: GA then EA, in that order (paper: "the guarded address set
 	// must be updated before the exposed address set").
 	for _, n := range order {
-		if len(n.preds) == 0 {
-			n.ga = alias.Set{}
-		} else {
-			var g alias.Set
-			for _, p := range n.preds {
-				through := p.ga.Clone()
-				through.AddAll(p.gaGain())
-				if g == nil {
-					g = through
-				} else {
-					g = g.Intersect(through)
-				}
+		n.ga = e.scratch(e.lw)
+		if len(n.preds) > 0 {
+			p := n.preds[0]
+			copy(n.ga, p.ga)
+			n.ga.or(p.gaGain())
+			for _, p := range n.preds[1:] {
+				copy(through, p.ga)
+				through.or(p.gaGain())
+				n.ga.and(through)
 			}
-			n.ga = g
 		}
-		n.ea = alias.Set{}
+		n.ea = e.scratch(e.lw)
 		for _, p := range n.preds {
-			n.ea.AddAll(p.ea)
+			n.ea.or(p.ea)
 		}
-		for l := range n.eaLocal {
-			if !n.ga.MustCovers(l) {
-				n.ea.Add(l)
+		n.eaLocal.forEach(func(l int32) {
+			if !n.ga.intersects(e.mustRow(l)) {
+				n.ea.set(l)
 			}
-		}
+		})
 	}
 	// Backward: RS.
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
-		n.rs = map[StoreRef]bool{}
+		n.rs = e.scratch(e.sw)
 		for _, s := range n.succs {
-			for k := range s.rs {
-				n.rs[k] = true
-			}
+			n.rs.or(s.rs)
 		}
 		for _, s := range n.as {
-			n.rs[s] = true
+			n.rs.set(s)
 		}
 	}
-	_ = mode
 }
 
 // collectViolations applies Equation 4 at every node and gathers the
 // checkpoint set: stores reachable at a node that may-alias an address
-// exposed at that node.
-func collectViolations(order []*node, mode alias.Mode) []StoreRef {
-	cp := map[StoreRef]bool{}
+// exposed at that node. The returned slice is in store-ID order, which is
+// (Block.ID, Index) order by construction (dense.go); the bitset backs the
+// seen-set for the caller's loop-summary merge.
+func collectViolations(order []*node, e *Env) (bits, []StoreRef) {
+	cp := e.scratch(e.sw)
 	for _, n := range order {
-		if len(n.ea) == 0 {
+		if n.ea.empty() {
 			continue
 		}
-		for s := range n.rs {
-			if cp[s] {
-				continue
+		n.rs.forEach(func(s int32) {
+			if !cp.has(s) && n.ea.intersects(e.mayRow(e.storeLoc[s])) {
+				cp.set(s)
 			}
-			for l := range n.ea {
-				if alias.MayAlias(s.Loc, l, mode) {
-					cp[s] = true
-					break
-				}
-			}
-		}
+		})
 	}
-	out := make([]StoreRef, 0, len(cp))
-	for s := range cp {
-		out = append(out, s)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Block.ID != b.Block.ID {
-			return a.Block.ID < b.Block.ID
-		}
-		return a.Index < b.Index
-	})
-	return out
+	var out []StoreRef
+	cp.forEach(func(s int32) { out = append(out, e.stores[s]) })
+	return cp, out
 }

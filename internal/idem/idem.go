@@ -88,7 +88,9 @@ type Result struct {
 
 	// RS/GA/EA expose the per-block sets for inspection and golden tests.
 	// RS maps each block to the violating-relevant store set reachable
-	// from it; GA/EA are address sets.
+	// from it; GA/EA are address sets. They are materialized from the
+	// internal dense bitsets only when Env.KeepSets is set (region
+	// formation leaves them nil to avoid per-block map churn).
 	RS map[*ir.Block]map[alias.InstrPos]alias.Loc
 	GA map[*ir.Block]alias.Set
 	EA map[*ir.Block]alias.Set
@@ -117,19 +119,51 @@ type Env struct {
 	// header's execution count.
 	Pmin float64
 
+	// KeepSets materializes Result.RS/GA/EA on every AnalyzeRegion call.
+	// Off by default: the per-block maps exist for inspection and golden
+	// tests, not for region formation, and building them dominates the
+	// analysis allocation profile.
+	KeepSets bool
+
 	loopSums map[*cfg.Loop]*loopSummary
+
+	// Dense universe (dense.go): every location and store the function
+	// can mention, interned once at NewEnv. The per-block effects cache
+	// and the lazily-built may/must relation rows are shared read-only by
+	// all regions analyzed under this Env.
+	locs     []alias.Loc
+	locID    map[alias.Loc]int32
+	stores   []StoreRef
+	storeID  map[StoreRef]int32
+	storeLoc []int32 // store ID -> location ID
+	lw, sw   int     // bitset widths in words (locations / stores)
+	may      []bits  // location ID -> may-alias row (lazy)
+	must     []bits  // location ID -> must-alias row (lazy)
+	fx       []blockFX
+
+	// Bump arena for transient per-region bitsets, reset at every
+	// AnalyzeRegion entry and reused across regions.
+	arena    []uint64
+	arenaOff int
 }
 
-// NewEnv builds an analysis environment for one function of a module.
+// NewEnv builds an analysis environment for one function of a module. The
+// module info mi must be fully built (including AttachObservations for the
+// Profiled mode) before the first NewEnv: environments treat it as
+// read-only, which is what makes per-function analysis fan-out safe.
 func NewEnv(f *ir.Func, mi *alias.ModuleInfo, mode alias.Mode) *Env {
 	dom := cfg.Dominators(f)
-	return &Env{
+	e := &Env{
 		Mode:        mode,
 		MI:          mi,
 		Loops:       cfg.FindLoops(f, dom),
 		Irreducible: cfg.Canonicalize(f, dom),
 		loopSums:    map[*cfg.Loop]*loopSummary{},
+		locID:       map[alias.Loc]int32{},
+		storeID:     map[StoreRef]int32{},
 	}
+	e.buildEffects(f)
+	return e
 }
 
 // WithProfile enables Pmin pruning using the given block frequencies.

@@ -86,6 +86,7 @@ func analyzeWholeFunc(t *testing.T, f *ir.Func, mode alias.Mode) (*Env, *Result)
 	}
 	mi := alias.AnalyzeModule(f.Mod)
 	env := NewEnv(f, mi, mode)
+	env.KeepSets = true
 	blocks := map[*ir.Block]bool{}
 	for _, b := range f.Blocks {
 		blocks[b] = true

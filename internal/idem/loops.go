@@ -1,35 +1,36 @@
 package idem
 
 import (
-	"encore/internal/alias"
 	"encore/internal/cfg"
 )
 
 // loopSummary is the loop-wide meta-information of paper §3.1.2: the net
 // memory effect of a whole loop, letting enclosing analyses treat it as a
-// single basic block.
+// single basic block. Summaries are cached across regions (per Env), so
+// their bitsets are allocated with make, never from the region arena.
 type loopSummary struct {
 	loop *cfg.Loop
 
 	// as / asLocs: loop-wide reachable stores, RS_l = AS_l — "effectively
 	// all stores are potentially reachable from any point within
-	// (possibly across iterations)".
-	as     []StoreRef
-	asLocs alias.Set
+	// (possibly across iterations)". as holds interned store IDs in
+	// deterministic node order.
+	as     []int32
+	asLocs bits
 
 	// ga: loop-wide guarded addresses, the intersection of the guaranteed
 	// sets across all exiting nodes. (We include the exiting node's own
 	// stores, since the exit branch executes after the block body.)
-	ga alias.Set
+	ga bits
 
 	// ea: loop-wide exposed addresses, the union of the exposed sets
 	// across all exiting nodes.
-	ea alias.Set
+	ea bits
 
 	// cp: stores that violate idempotence *within* the loop (first- or
 	// cross-iteration WARs); they must be checkpointed by any region that
-	// wants to re-execute through this loop.
-	cp []StoreRef
+	// wants to re-execute through this loop. Interned store IDs.
+	cp []int32
 
 	unknown bool
 }
@@ -72,61 +73,64 @@ func (e *Env) computeLoopSummary(l *cfg.Loop) *loopSummary {
 	if !acyclic {
 		return nil
 	}
-	runDataflow(order, e.Mode)
+	runDataflow(order, e)
 
-	s := &loopSummary{loop: l, asLocs: alias.Set{}, ga: alias.Set{}, ea: alias.Set{}}
-	cpSet := map[StoreRef]bool{}
+	s := &loopSummary{
+		loop:   l,
+		asLocs: make(bits, e.lw),
+		ga:     make(bits, e.lw),
+		ea:     make(bits, e.lw),
+	}
+	cpSet := e.scratch(e.sw)
 	for _, n := range nodes {
 		s.as = append(s.as, n.as...)
-		s.asLocs.AddAll(n.asLocs)
+		s.asLocs.or(n.asLocs)
 		if n.unknown {
 			s.unknown = true
 		}
 		// Inner loops' own violations remain violations of this loop.
 		if n.loop != nil {
 			for _, st := range n.sum.cp {
-				cpSet[st] = true
+				cpSet.set(st)
 			}
 		}
 	}
 	// Equation-4 check with RS_l = AS_l for every block: any address
 	// exposed anywhere in the loop against any store anywhere in the loop
 	// (cross-iteration WARs included).
+	unionEA := e.scratch(e.lw)
 	for _, n := range order {
-		for l2 := range n.ea {
-			for _, st := range s.as {
-				if !cpSet[st] && alias.MayAlias(st.Loc, l2, e.Mode) {
-					cpSet[st] = true
-				}
-			}
+		unionEA.or(n.ea)
+	}
+	for _, st := range s.as {
+		if !cpSet.has(st) && unionEA.intersects(e.mayRow(e.storeLoc[st])) {
+			cpSet.set(st)
 		}
 	}
 	for _, st := range s.as {
-		if cpSet[st] {
+		if cpSet.has(st) {
 			s.cp = append(s.cp, st)
 		}
 	}
 
 	// Loop-wide GA: intersection across exiting nodes, each taken after
-	// its own body has run.
+	// its own body has run. No exiting nodes (e.g. an intentionally
+	// endless loop) leaves the zero set: nothing is guaranteed.
+	through := e.scratch(e.lw)
 	first := true
 	for _, n := range order {
 		if !isExiting(n, l) {
 			continue
 		}
-		through := n.ga.Clone()
-		through.AddAll(n.gaGain())
 		if first {
-			s.ga = through
+			copy(s.ga, n.ga)
+			s.ga.or(n.gaGain())
 			first = false
 		} else {
-			s.ga = s.ga.Intersect(through)
+			copy(through, n.ga)
+			through.or(n.gaGain())
+			s.ga.and(through)
 		}
-	}
-	if first {
-		// No exiting nodes survived pruning (e.g. an intentionally endless
-		// loop): nothing is guaranteed and nothing escapes.
-		s.ga = alias.Set{}
 	}
 	// Loop-wide EA: the paper defines it as the union over exit blocks,
 	// but control can leave after any number of iterations, so exposure
@@ -134,7 +138,7 @@ func (e *Env) computeLoopSummary(l *cfg.Loop) *loopSummary {
 	// pass sees the exiting header before the body; take the union over
 	// all nodes to cover paths through later iterations.
 	for _, n := range order {
-		s.ea.AddAll(n.ea)
+		s.ea.or(n.ea)
 	}
 	return s
 }

@@ -91,13 +91,13 @@ func TestLoopSummaryRSisAS(t *testing.T) {
 	exit.RetVoid()
 	f.Recompute()
 
-	_, s := summaryOf(t, f, head)
+	env, s := summaryOf(t, f, head)
 	if len(s.as) != 2 {
 		t.Fatalf("AS_l has %d stores, want both body stores: %v", len(s.as), s.as)
 	}
 	for _, loc := range []alias.Loc{globalLoc(X, 0), globalLoc(X, 1)} {
-		if !s.asLocs.MustCovers(loc) {
-			t.Errorf("AS_l locations %v missing %v", s.asLocs, loc)
+		if !env.locSet(s.asLocs).MustCovers(loc) {
+			t.Errorf("AS_l locations %v missing %v", env.locSet(s.asLocs), loc)
 		}
 	}
 }
@@ -130,9 +130,9 @@ func TestLoopSummaryEAUnion(t *testing.T) {
 	exit.RetVoid()
 	f.Recompute()
 
-	_, s := summaryOf(t, f, head)
-	if !s.ea.MustCovers(globalLoc(Y, 0)) {
-		t.Fatalf("EA_l = %v must expose the body load of Y[0]", s.ea)
+	env, s := summaryOf(t, f, head)
+	if !env.locSet(s.ea).MustCovers(globalLoc(Y, 0)) {
+		t.Fatalf("EA_l = %v must expose the body load of Y[0]", env.locSet(s.ea))
 	}
 }
 
@@ -169,12 +169,12 @@ func TestLoopSummaryGAMultiExit(t *testing.T) {
 	exit.RetVoid()
 	f.Recompute()
 
-	_, s := summaryOf(t, f, head)
-	if !s.ga.MustCovers(globalLoc(A, 0)) {
-		t.Errorf("GA_l = %v must guarantee A[0] (stored by the header before every exit)", s.ga)
+	env, s := summaryOf(t, f, head)
+	if !env.locSet(s.ga).MustCovers(globalLoc(A, 0)) {
+		t.Errorf("GA_l = %v must guarantee A[0] (stored by the header before every exit)", env.locSet(s.ga))
 	}
-	if s.ga.MustCovers(globalLoc(B, 0)) {
-		t.Errorf("GA_l = %v must NOT guarantee B[0] (missed when exiting from the header)", s.ga)
+	if env.locSet(s.ga).MustCovers(globalLoc(B, 0)) {
+		t.Errorf("GA_l = %v must NOT guarantee B[0] (missed when exiting from the header)", env.locSet(s.ga))
 	}
 }
 
@@ -226,11 +226,11 @@ func TestNestedLoopSummary(t *testing.T) {
 	if len(outer.cp) != 1 || outer.cp[0] != is.cp[0] {
 		t.Fatalf("outer cp = %v must inherit the inner violation %v", outer.cp, is.cp)
 	}
-	if len(outer.as) != 1 || !outer.asLocs.MustCovers(globalLoc(X, 0)) {
+	if len(outer.as) != 1 || !env.locSet(outer.asLocs).MustCovers(globalLoc(X, 0)) {
 		t.Errorf("outer AS_l = %v must fold in the inner store", outer.as)
 	}
-	if !outer.ea.MustCovers(globalLoc(X, 0)) {
-		t.Errorf("outer EA_l = %v must fold in the inner exposure", outer.ea)
+	if !env.locSet(outer.ea).MustCovers(globalLoc(X, 0)) {
+		t.Errorf("outer EA_l = %v must fold in the inner exposure", env.locSet(outer.ea))
 	}
 }
 

@@ -7,13 +7,19 @@ import (
 
 // AnalyzeRegion runs the full idempotence analysis on the SEME region with
 // the given header and block set, applying the environment's alias mode
-// and Pmin pruning. It returns the classification, the checkpoint set CP,
-// and the per-block RS/GA/EA sets.
+// and Pmin pruning. It returns the classification and the checkpoint set
+// CP; the per-block RS/GA/EA sets are materialized only when Env.KeepSets
+// is set. Transient dataflow sets come from the Env's arena, which this
+// call resets: results of a previous AnalyzeRegion on the same Env stay
+// valid (CP and the materialized maps are plain values), but the analysis
+// itself must not be re-entered concurrently — use one Env per goroutine.
 func (e *Env) AnalyzeRegion(header *ir.Block, blocks map[*ir.Block]bool) *Result {
-	res := &Result{
-		RS: map[*ir.Block]map[alias.InstrPos]alias.Loc{},
-		GA: map[*ir.Block]alias.Set{},
-		EA: map[*ir.Block]alias.Set{},
+	e.resetArena()
+	res := &Result{}
+	if e.KeepSets {
+		res.RS = map[*ir.Block]map[alias.InstrPos]alias.Loc{}
+		res.GA = map[*ir.Block]alias.Set{}
+		res.EA = map[*ir.Block]alias.Set{}
 	}
 	for b := range blocks {
 		if e.Irreducible[b] {
@@ -33,37 +39,36 @@ func (e *Env) AnalyzeRegion(header *ir.Block, blocks map[*ir.Block]bool) *Result
 		res.Class = Unknown
 		return res
 	}
-	runDataflow(order, e.Mode)
+	runDataflow(order, e)
 
 	unknown := false
 	for _, n := range order {
 		if n.unknown {
 			unknown = true
 		}
-		b := n.headerBlock()
-		rsOut := map[alias.InstrPos]alias.Loc{}
-		for s := range n.rs {
-			rsOut[s.Pos] = s.Loc
+		if e.KeepSets {
+			b := n.headerBlock()
+			rsOut := map[alias.InstrPos]alias.Loc{}
+			n.rs.forEach(func(s int32) {
+				sr := e.stores[s]
+				rsOut[sr.Pos] = sr.Loc
+			})
+			res.RS[b] = rsOut
+			res.GA[b] = e.locSet(n.ga)
+			res.EA[b] = e.locSet(n.ea)
 		}
-		res.RS[b] = rsOut
-		res.GA[b] = n.ga
-		res.EA[b] = n.ea
 	}
 
 	// Region-level violations plus every contained loop's internal CP.
-	cp := collectViolations(order, e.Mode)
-	seen := map[StoreRef]bool{}
-	for _, s := range cp {
-		seen[s] = true
-	}
+	cpBits, cp := collectViolations(order, e)
 	for _, n := range order {
 		if n.loop == nil {
 			continue
 		}
 		for _, s := range n.sum.cp {
-			if !seen[s] {
-				seen[s] = true
-				cp = append(cp, s)
+			if !cpBits.has(s) {
+				cpBits.set(s)
+				cp = append(cp, e.stores[s])
 			}
 		}
 	}

@@ -165,7 +165,7 @@ type FormConfig struct {
 // reports.
 func Form(f *ir.Func, env *idem.Env, prof *profile.Data, cfgF FormConfig) (final, candidates []*Region) {
 	reg := cfgF.Obs
-	sp := reg.Span("compile/regions/intervals")
+	sp := reg.Span("compile/analyze/regions/intervals")
 	seq := cfg.IntervalSequence(f)
 	if len(seq) == 0 {
 		sp.End()
@@ -173,7 +173,7 @@ func Form(f *ir.Func, env *idem.Env, prof *profile.Data, cfgF FormConfig) (final
 	}
 	lv := cfg.ComputeLiveness(f)
 	sp.End()
-	analyze := reg.Span("compile/regions/analyze")
+	analyze := reg.Span("compile/analyze/regions/analyze")
 	defer analyze.End()
 	mergeOK := reg.Counter("compile.region.merge_approved")
 	mergeNo := reg.Counter("compile.region.merge_rejected")

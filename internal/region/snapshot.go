@@ -1,0 +1,274 @@
+// Positional region snapshots: a portable encoding of formed regions that
+// survives a module rebuild, mirroring profile.Positional. Workload builds
+// are deterministic, so function index, block index, and global index
+// identify the same entity across independent sp.Build() calls; a snapshot
+// taken from one build can be materialized onto a fresh build, giving
+// parameter sweeps an analysis they can re-select and re-instrument
+// without re-running the dataflow (and without sharing mutable state with
+// a previous config point — selection and instrumentation mutate regions).
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"encore/internal/alias"
+	"encore/internal/idem"
+	"encore/internal/ir"
+)
+
+// PortableLoc is an alias.Loc with pointers replaced by module indices.
+type PortableLoc struct {
+	Kind     alias.BaseKind
+	Global   int32 // index into Module.Globals; -1 when not KindGlobal
+	Fn       int32 // index into Module.Funcs; -1 when not KindFrame
+	Param    int
+	Off      int64
+	OffKnown bool
+	HasObs   bool
+	Obs      alias.Range // valid when HasObs (copied by value)
+}
+
+// PortableStoreRef is an idem.StoreRef with positional coordinates.
+type PortableStoreRef struct {
+	Fn       int32 // index into Module.Funcs
+	Block    int32 // index into Func.Blocks
+	Index    int   // instruction index within the block
+	Loc      PortableLoc
+	FromCall bool
+}
+
+// PortableRegion is one formed region re-keyed positionally. It carries
+// everything selection (Select, EstOverheadInstrs) and instrumentation
+// (xform.Instrument) consume; the inspection-only RS/GA/EA maps and the
+// PruneCP support state (loop forest, hot-path membership) are dropped —
+// conflict profiling happens during analysis, before any snapshot.
+type PortableRegion struct {
+	ID            int
+	Fn            int32
+	Header        int32 // block index within Fn
+	Blocks        []int32
+	Level         int
+	Class         idem.Class
+	CP            []PortableStoreRef
+	Unprotectable bool
+	PrunedBlocks  int
+	RegCkpts      []ir.Reg
+	HotLen        int
+	CkptOnHot     int
+	DynInstrs     int64
+	DynEntries    int64
+	MultiCkpt     bool
+}
+
+// moduleIndex provides pointer→index lookups for one module.
+type moduleIndex struct {
+	fn     map[*ir.Func]int32
+	global map[*ir.Global]int32
+	block  map[*ir.Func]map[*ir.Block]int32
+}
+
+func indexModule(mod *ir.Module) *moduleIndex {
+	ix := &moduleIndex{
+		fn:     make(map[*ir.Func]int32, len(mod.Funcs)),
+		global: make(map[*ir.Global]int32, len(mod.Globals)),
+		block:  make(map[*ir.Func]map[*ir.Block]int32, len(mod.Funcs)),
+	}
+	for i, f := range mod.Funcs {
+		ix.fn[f] = int32(i)
+		bm := make(map[*ir.Block]int32, len(f.Blocks))
+		for j, b := range f.Blocks {
+			bm[b] = int32(j)
+		}
+		ix.block[f] = bm
+	}
+	for i, g := range mod.Globals {
+		ix.global[g] = int32(i)
+	}
+	return ix
+}
+
+func (ix *moduleIndex) loc(l alias.Loc) (PortableLoc, error) {
+	p := PortableLoc{Kind: l.Kind, Global: -1, Fn: -1, Param: l.Param, Off: l.Off, OffKnown: l.OffKnown}
+	if l.Global != nil {
+		gi, ok := ix.global[l.Global]
+		if !ok {
+			return p, fmt.Errorf("region snapshot: location %v references a global outside the module", l)
+		}
+		p.Global = gi
+	}
+	if l.Fn != nil {
+		fi, ok := ix.fn[l.Fn]
+		if !ok {
+			return p, fmt.Errorf("region snapshot: location %v references a function outside the module", l)
+		}
+		p.Fn = fi
+	}
+	if l.Obs != nil {
+		p.HasObs = true
+		p.Obs = *l.Obs
+	}
+	return p, nil
+}
+
+// Encode re-keys regions positionally against mod (the module they were
+// formed on).
+func Encode(regions []*Region, mod *ir.Module) ([]PortableRegion, error) {
+	ix := indexModule(mod)
+	out := make([]PortableRegion, 0, len(regions))
+	for _, r := range regions {
+		fi, ok := ix.fn[r.Fn]
+		if !ok {
+			return nil, fmt.Errorf("region snapshot: %v references a function outside the module", r)
+		}
+		bm := ix.block[r.Fn]
+		hi, ok := bm[r.Header]
+		if !ok {
+			return nil, fmt.Errorf("region snapshot: %v header outside its function", r)
+		}
+		pr := PortableRegion{
+			ID:            r.ID,
+			Fn:            fi,
+			Header:        hi,
+			Level:         r.Level,
+			Class:         r.Analysis.Class,
+			Unprotectable: r.Analysis.Unprotectable,
+			PrunedBlocks:  r.Analysis.PrunedBlocks,
+			RegCkpts:      append([]ir.Reg(nil), r.RegCkpts...),
+			HotLen:        r.HotLen,
+			CkptOnHot:     r.CkptOnHot,
+			DynInstrs:     r.DynInstrs,
+			DynEntries:    r.DynEntries,
+			MultiCkpt:     r.MultiCkpt,
+		}
+		// Blocks in index order keeps the encoding canonical: two snapshots
+		// of identical analyses are deeply equal.
+		for b := range r.Blocks {
+			bi, ok := bm[b]
+			if !ok {
+				return nil, fmt.Errorf("region snapshot: %v block outside its function", r)
+			}
+			pr.Blocks = append(pr.Blocks, bi)
+		}
+		sort.Slice(pr.Blocks, func(a, b int) bool { return pr.Blocks[a] < pr.Blocks[b] })
+		for _, s := range r.Analysis.CP {
+			sf, ok := ix.fn[s.Pos.Block.Fn]
+			if !ok {
+				return nil, fmt.Errorf("region snapshot: CP store %v outside the module", s)
+			}
+			sb, ok := ix.block[s.Pos.Block.Fn][s.Pos.Block]
+			if !ok {
+				return nil, fmt.Errorf("region snapshot: CP store %v outside its function", s)
+			}
+			loc, err := ix.loc(s.Loc)
+			if err != nil {
+				return nil, err
+			}
+			pr.CP = append(pr.CP, PortableStoreRef{
+				Fn: sf, Block: sb, Index: s.Pos.Index, Loc: loc, FromCall: s.FromCall,
+			})
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// Materialize rebuilds regions from a positional snapshot against mod,
+// which must be a structurally identical build of the module the snapshot
+// was encoded from (same function, block, and global layout — guaranteed
+// for deterministic workload builds; index bounds are checked and anything
+// out of range is an error).
+//
+// Replayed regions support everything Finalize needs — Select,
+// EstOverheadInstrs, Instrument, and the Result reporting methods — but
+// not PruneCP (conflict profiling runs during analysis, never after
+// replay), and their Analysis carries no RS/GA/EA maps.
+func Materialize(prs []PortableRegion, mod *ir.Module) ([]*Region, error) {
+	fnAt := func(i int32) (*ir.Func, error) {
+		if i < 0 || int(i) >= len(mod.Funcs) {
+			return nil, fmt.Errorf("region snapshot: function index %d out of range (module has %d)", i, len(mod.Funcs))
+		}
+		return mod.Funcs[i], nil
+	}
+	blockAt := func(f *ir.Func, i int32) (*ir.Block, error) {
+		if i < 0 || int(i) >= len(f.Blocks) {
+			return nil, fmt.Errorf("region snapshot: block index %d out of range in %s (%d blocks)", i, f.Name, len(f.Blocks))
+		}
+		return f.Blocks[i], nil
+	}
+	out := make([]*Region, 0, len(prs))
+	for i := range prs {
+		pr := &prs[i]
+		f, err := fnAt(pr.Fn)
+		if err != nil {
+			return nil, err
+		}
+		header, err := blockAt(f, pr.Header)
+		if err != nil {
+			return nil, err
+		}
+		r := &Region{
+			ID:     pr.ID,
+			Fn:     f,
+			Header: header,
+			Blocks: make(map[*ir.Block]bool, len(pr.Blocks)),
+			Level:  pr.Level,
+			Analysis: &idem.Result{
+				Class:         pr.Class,
+				Unprotectable: pr.Unprotectable,
+				PrunedBlocks:  pr.PrunedBlocks,
+			},
+			RegCkpts:   append([]ir.Reg(nil), pr.RegCkpts...),
+			HotLen:     pr.HotLen,
+			CkptOnHot:  pr.CkptOnHot,
+			DynInstrs:  pr.DynInstrs,
+			DynEntries: pr.DynEntries,
+			MultiCkpt:  pr.MultiCkpt,
+		}
+		for _, bi := range pr.Blocks {
+			b, err := blockAt(f, bi)
+			if err != nil {
+				return nil, err
+			}
+			r.Blocks[b] = true
+		}
+		for _, ps := range pr.CP {
+			sf, err := fnAt(ps.Fn)
+			if err != nil {
+				return nil, err
+			}
+			sb, err := blockAt(sf, ps.Block)
+			if err != nil {
+				return nil, err
+			}
+			loc := alias.Loc{
+				Kind: ps.Loc.Kind, Param: ps.Loc.Param,
+				Off: ps.Loc.Off, OffKnown: ps.Loc.OffKnown,
+			}
+			if ps.Loc.Global >= 0 {
+				if int(ps.Loc.Global) >= len(mod.Globals) {
+					return nil, fmt.Errorf("region snapshot: global index %d out of range (%d globals)", ps.Loc.Global, len(mod.Globals))
+				}
+				loc.Global = mod.Globals[ps.Loc.Global]
+			}
+			if ps.Loc.Fn >= 0 {
+				lf, err := fnAt(ps.Loc.Fn)
+				if err != nil {
+					return nil, err
+				}
+				loc.Fn = lf
+			}
+			if ps.Loc.HasObs {
+				obsCopy := ps.Loc.Obs
+				loc.Obs = &obsCopy
+			}
+			r.Analysis.CP = append(r.Analysis.CP, idem.StoreRef{
+				Pos:      alias.InstrPos{Block: sb, Index: ps.Index},
+				Loc:      loc,
+				FromCall: ps.FromCall,
+			})
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

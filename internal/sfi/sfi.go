@@ -13,13 +13,13 @@ package sfi
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"encore/internal/interp"
 	"encore/internal/ir"
 	"encore/internal/obs"
+	"encore/internal/workpool"
 )
 
 // rng is the deterministic generator for fault plans.
@@ -412,24 +412,21 @@ func newMachinePool(mod *ir.Module, metas []interp.RegionMeta) *machinePool {
 func (p *machinePool) get() *interp.Machine  { return p.pool.Get().(*interp.Machine) }
 func (p *machinePool) put(w *interp.Machine) { p.pool.Put(w) }
 
+// EnvWorkers returns the ENCORE_WORKERS environment override as a worker
+// count, or 0 when the variable is unset, malformed, or non-positive (the
+// "no opinion" value every consumer feeds through ClampWorkers). It is the
+// shared knob behind the compile fan-out (internal/core), the experiment
+// harness's per-spec pool, and encore-bench.
+func EnvWorkers() int { return workpool.FromEnv() }
+
 // ClampWorkers normalizes a requested trial-parallelism value: zero or
 // negative selects runtime.GOMAXPROCS(0), a request above the trial count
 // is capped at it (extra workers would only idle), and the floor is one.
 // encore-sfi's -workers flag, the Workers config fields, and runTrials all
-// degrade through this one helper, so a pathological request behaves
-// exactly like the serial path instead of erroring or deadlocking.
-func ClampWorkers(workers, trials int) int {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > trials {
-		workers = trials
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
+// degrade through this one helper (now shared tree-wide via
+// internal/workpool), so a pathological request behaves exactly like the
+// serial path instead of erroring or deadlocking.
+func ClampWorkers(workers, trials int) int { return workpool.Clamp(workers, trials) }
 
 // runTrials executes fn over trial indices on a bounded worker pool, each
 // worker leasing a private machine (machines are not goroutine-safe).

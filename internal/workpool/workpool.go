@@ -1,0 +1,41 @@
+// Package workpool holds the one worker-count policy shared by every
+// bounded fan-out in the tree: SFI trial pools (internal/sfi), the
+// per-function compile fan-out (internal/core), and the experiment
+// harness's per-spec pool (internal/experiments). It sits below all of
+// them so core can use it without importing sfi (whose tests import core).
+package workpool
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// Clamp normalizes a requested parallelism value: zero or negative selects
+// runtime.GOMAXPROCS(0), a request above the item count is capped at it
+// (extra workers would only idle), and the floor is one. Every worker-pool
+// knob in the tree degrades through this helper, so a pathological request
+// behaves exactly like the serial path instead of erroring or deadlocking.
+func Clamp(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// FromEnv returns the ENCORE_WORKERS environment override as a worker
+// count, or 0 when the variable is unset, malformed, or non-positive (the
+// "no opinion" value every consumer feeds through Clamp).
+func FromEnv() int {
+	n, err := strconv.Atoi(os.Getenv("ENCORE_WORKERS"))
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
+}

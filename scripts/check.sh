@@ -1,10 +1,12 @@
 #!/bin/sh
 # Repository health gate: formatting, vet, doc-comment lint, the full
 # test suite, the race detector over the packages that run concurrent
-# machinery (the obs registry, the SFI trial pool, and the experiments
-# compile cache / worker pool), a short-budget run of the generative
-# fuzz oracles (internal/progen), plus command smoke runs that exercise
-# the observability flags end to end.
+# machinery (the obs registry, the compiler's per-function analysis
+# fan-out, the SFI trial pool, and the experiments compile cache /
+# worker pool), a short-budget run of the generative fuzz oracles
+# (internal/progen), plus command smoke runs that exercise the
+# observability flags end to end — including a check that metrics
+# counters are identical under ENCORE_WORKERS=1 and the default pool.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -31,8 +33,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/obs ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen"
-go test -race ./internal/obs ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen
+echo "==> go test -race ./internal/obs ./internal/core ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen"
+go test -race ./internal/obs ./internal/core ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen
 
 echo "==> fuzz smoke (generative oracles, ${FUZZTIME:-10s} per target)"
 make -s fuzz-smoke FUZZTIME="${FUZZTIME:-10s}"
@@ -81,5 +83,17 @@ cmp -s "$tmp/trace.jsonl" "$tmp/trace2.jsonl" || { echo "encore-sfi -trace: not 
 echo "==> smoke: encore-bench"
 "$tmp/encore-bench" -exp fig5 -apps rawcaudio,rawdaudio -quick -metrics "$tmp/bench.json" > /dev/null
 grep -q '"bench/fig5"' "$tmp/bench.json" || { echo "encore-bench -metrics: no bench/fig5 span" >&2; exit 1; }
+
+echo "==> smoke: ENCORE_WORKERS determinism (counters identical at 1 vs default)"
+# Counter values (compiles, regions, interpreter totals) must not depend
+# on the worker count; spans carry wall-clock and are excluded.
+ENCORE_WORKERS=1 "$tmp/encore-bench" -exp fig5 -apps rawcaudio,rawdaudio -quick -metrics "$tmp/bench-w1.json" > /dev/null
+sed -n '/"counters"/,/\]/p' "$tmp/bench.json" > "$tmp/counters-default.txt"
+sed -n '/"counters"/,/\]/p' "$tmp/bench-w1.json" > "$tmp/counters-w1.txt"
+cmp -s "$tmp/counters-default.txt" "$tmp/counters-w1.txt" || {
+	echo "encore-bench: counters differ between ENCORE_WORKERS=1 and default:" >&2
+	diff "$tmp/counters-default.txt" "$tmp/counters-w1.txt" >&2 || true
+	exit 1
+}
 
 echo "OK"
