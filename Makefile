@@ -1,5 +1,6 @@
 GO ?= go
 FUZZTIME ?= 10s
+BENCH ?= BENCH_pr6.json
 
 .PHONY: build test bench fuzz-smoke check
 
@@ -10,13 +11,15 @@ test:
 	$(GO) test ./...
 
 # bench runs the repository micro-benchmarks and then regenerates the
-# perf-trajectory record: BENCH_pr5.json is the encore-bench -json report
+# perf-trajectory record: $(BENCH) is the encore-bench -json report
 # (quick mode), whose compile_ns/analyze_ns/finalize_ns fields expose the
 # staged pipeline's analysis-reuse ratio across the full experiment run.
+# Override the output with e.g. `make bench BENCH=BENCH_pr7.json` so each
+# PR's record lands beside its predecessors instead of overwriting them.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test ./internal/core ./internal/idem -run '^$$' -bench '.' -benchmem
-	$(GO) run ./cmd/encore-bench -quick -json BENCH_pr5.json > /dev/null
+	$(GO) run ./cmd/encore-bench -quick -json $(BENCH) > /dev/null
 
 # Short-budget run of the generative oracles (internal/progen): each fuzz
 # target replays its checked-in corpus and then explores for FUZZTIME.

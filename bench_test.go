@@ -348,8 +348,45 @@ func BenchmarkInterpDispatch(b *testing.B) {
 	}{
 		{"fast", interp.Config{}},
 		{"reference", interp.Config{Reference: true}},
+		{"closure", interp.Config{Engine: interp.EngineClosure}},
 		{"fast-profiled", interp.Config{Profile: true}},
 		{"reference-profiled", interp.Config{Profile: true, Reference: true}},
+		{"closure-profiled", interp.Config{Profile: true, Engine: interp.EngineClosure}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := interp.New(art.Mod, mode.cfg)
+			var instrs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				instrs += m.Count
+			}
+			b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+		})
+	}
+}
+
+// BenchmarkClosureDispatch isolates the closure-compiled engine: one-time
+// AOT compilation into threaded-code closures, then repeated runs over
+// the pre-built step arrays, plain and with dense profiling. Compare the
+// Minstr/s metric against BenchmarkInterpDispatch's fast/reference modes
+// — the closure engine's whole point is removing the per-instruction
+// opcode switch from the quiescent path.
+func BenchmarkClosureDispatch(b *testing.B) {
+	sp, err := workload.ByName("256.bzip2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := sp.Build()
+	for _, mode := range []struct {
+		name string
+		cfg  interp.Config
+	}{
+		{"plain", interp.Config{Engine: interp.EngineClosure}},
+		{"profiled", interp.Config{Profile: true, Engine: interp.EngineClosure}},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			m := interp.New(art.Mod, mode.cfg)
@@ -369,7 +406,9 @@ func BenchmarkInterpDispatch(b *testing.B) {
 
 // BenchmarkSFITrialThroughput measures fault-injection throughput in
 // trials per second — each trial is a golden-checked full run with one
-// injected fault. This is the quantity Figure 8's Monte Carlo and the
+// injected fault — for each execution engine. Campaign results are
+// engine-invariant, so the spread between sub-benchmarks is pure
+// simulator speed: this is the quantity Figure 8's Monte Carlo and the
 // end-to-end SFI campaigns pay for.
 func BenchmarkSFITrialThroughput(b *testing.B) {
 	sp, err := workload.ByName("175.vpr")
@@ -382,15 +421,18 @@ func BenchmarkSFITrialThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	const trials = 50
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
-			Trials: trials, Seed: uint64(i + 1), Dmax: 100,
-		}); err != nil {
-			b.Fatal(err)
-		}
+	for _, engine := range []interp.Engine{interp.EngineFast, interp.EngineRef, interp.EngineClosure} {
+		b.Run(engine.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
+					Trials: trials, Seed: uint64(i + 1), Dmax: 100, Engine: engine,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
 	}
-	b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
 // BenchmarkResetDirtyRange measures Machine.Reset on a deliberately

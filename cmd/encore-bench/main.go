@@ -3,7 +3,8 @@
 // Usage:
 //
 //	encore-bench [-exp fig1|table1|fig5|fig6|fig7a|fig7b|fig8|all]
-//	             [-apps a,b,c] [-quick] [-table1-app name] [-json file]
+//	             [-apps a,b,c] [-quick] [-engine fast|ref|closure]
+//	             [-table1-app name] [-json file]
 //	             [-metrics file|-] [-chrometrace file|-]
 //	             [-cpuprofile file] [-memprofile file]
 //
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"encore/internal/experiments"
+	"encore/internal/interp"
 	"encore/internal/obs"
 )
 
@@ -84,9 +86,10 @@ func main() {
 func runBench(argv []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("encore-bench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, all")
+		exp        = fs.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, engines, all")
 		apps       = fs.String("apps", "", "comma-separated benchmark subset")
 		quick      = fs.Bool("quick", false, "reduced Monte-Carlo trials")
+		engine     = fs.String("engine", "", "execution engine for measurement runs: fast, ref, or closure (results are engine-invariant)")
 		t1app      = fs.String("table1-app", "175.vpr", "workload for the Table 1 comparison")
 		jsonPath   = fs.String("json", "", "write a JSON report (wall-clock + results) to this file")
 		metrics    = fs.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
@@ -110,7 +113,11 @@ func runBench(argv []string, stdout io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	h := &experiments.Harness{Quick: *quick}
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	h := &experiments.Harness{Quick: *quick, Engine: eng}
 	if *apps != "" {
 		h.Apps = strings.Split(*apps, ",")
 	}
@@ -141,6 +148,8 @@ func runBench(argv []string, stdout io.Writer) error {
 			return h.AblationInputShift(7)
 		case "abl-detector":
 			return h.AblationDetector(100)
+		case "engines":
+			return h.Engines("")
 		}
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
@@ -148,7 +157,8 @@ func runBench(argv []string, stdout io.Writer) error {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"fig1", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig8",
-			"abl-eta", "abl-budget", "abl-signature", "abl-detector", "abl-input"}
+			"abl-eta", "abl-budget", "abl-signature", "abl-detector", "abl-input",
+			"engines"}
 	}
 	reg := obs.Default()
 	if *chrome != "" {

@@ -67,6 +67,28 @@ func TestMetricsJSON(t *testing.T) {
 	}
 }
 
+func TestUnknownEngineRejected(t *testing.T) {
+	var out bytes.Buffer
+	err := runBench([]string{"-exp", "table1", "-engine", "jit"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("want an unknown-engine error, got %v", err)
+	}
+}
+
+// TestEngineFlagRuns drives one real experiment under the closure engine:
+// the harness must thread -engine through its compile and measurement
+// caches and still render the exhibit.
+func TestEngineFlagRuns(t *testing.T) {
+	var out bytes.Buffer
+	err := runBench([]string{"-exp", "table1", "-table1-app", "rawcaudio", "-quick", "-engine", "closure"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Encore") {
+		t.Fatalf("no Table 1 rows in output:\n%s", out.String())
+	}
+}
+
 // TestJSONReportEmbedsMetrics checks the -json report carries the
 // observability snapshot under "metrics" (the standalone -metrics flag is
 // covered above).

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking]
-//	           [-workers n] [-progress] [-metrics file|-]
-//	           [-trace file|-] [-chrometrace file|-]
+//	           [-workers n] [-engine fast|ref|closure] [-progress]
+//	           [-metrics file|-] [-trace file|-] [-chrometrace file|-]
 //	encore-sfi -report file|- [-json]
 //
 // -progress emits a rate-limited trial counter to stderr while a campaign
@@ -40,6 +40,7 @@ import (
 
 	"encore/internal/attrib"
 	"encore/internal/core"
+	"encore/internal/interp"
 	"encore/internal/ir"
 	"encore/internal/obs"
 	"encore/internal/sfi"
@@ -69,6 +70,7 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "PRNG seed")
 		masking     = fs.Bool("masking", false, "also run the raw-strike masking study")
 		workers     = fs.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS; clamped to the trial count)")
+		engine      = fs.String("engine", "", "trial execution engine: fast, ref, or closure (outcomes are engine-invariant)")
 		progress    = fs.Bool("progress", false, "report per-campaign trial progress on stderr")
 		metrics     = fs.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
 		tracePath   = fs.String("trace", "", "stream the per-trial JSONL ledger to this file (- = stdout)")
@@ -81,6 +83,10 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 	}
 	if *dmax < 0 {
 		return fmt.Errorf("-dmax %d is negative: detection latency is sampled uniformly from [0, dmax]", *dmax)
+	}
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		return err
 	}
 
 	if *reportPath != "" {
@@ -130,17 +136,19 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 
 	tw := tabwriter.NewWriter(tableOut, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\trecovered\tbenign\tunrec\trec-wrong\tsdc\tcrash\tsame-inst\tmasked")
+	ccfg := core.DefaultConfig()
+	ccfg.Interp.Engine = eng
 	for _, sp := range specs {
 		sp := sp
 		art := sp.Build()
-		res, err := core.Compile(art.Mod, core.DefaultConfig())
+		res, err := core.Compile(art.Mod, ccfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.Name, err)
 		}
 		prog := newProgress(sp.Name+" campaign", *trials)
 		camp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
 			Trials: *trials, Seed: *seed, Dmax: *dmax, Workers: *workers,
-			Obs: reg, Progress: prog,
+			Engine: eng, Obs: reg, Progress: prog,
 			App: sp.Name, Regions: regionTable(res, *dmax), Trace: sink,
 		})
 		prog.Finish()
@@ -155,7 +163,7 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 				return a.Mod, a.Outputs
 			}, sfi.MaskingConfig{
 				Trials: *trials, Seed: *seed, Workers: *workers,
-				Obs: reg, Progress: mprog,
+				Engine: eng, Obs: reg, Progress: mprog,
 			})
 			mprog.Finish()
 			if err != nil {

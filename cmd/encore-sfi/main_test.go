@@ -17,6 +17,37 @@ func TestNegativeDmaxRejected(t *testing.T) {
 	}
 }
 
+func TestUnknownEngineRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := runSFI([]string{"-app", "rawcaudio", "-trials", "3", "-engine", "jit"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("want an unknown-engine error, got %v", err)
+	}
+}
+
+// TestEngineInvariantTable runs the same campaign under each engine and
+// requires an identical outcome table: the -engine flag may only move
+// wall-clock, never results.
+func TestEngineInvariantTable(t *testing.T) {
+	run := func(engine string) string {
+		var out, errOut bytes.Buffer
+		args := []string{"-app", "rawcaudio", "-trials", "8", "-seed", "3"}
+		if engine != "" {
+			args = append(args, "-engine", engine)
+		}
+		if err := runSFI(args, &out, &errOut); err != nil {
+			t.Fatalf("-engine %s: %v", engine, err)
+		}
+		return out.String()
+	}
+	want := run("")
+	for _, engine := range []string{"fast", "ref", "closure"} {
+		if got := run(engine); got != want {
+			t.Errorf("-engine %s table diverges:\n%s\nvs default:\n%s", engine, got, want)
+		}
+	}
+}
+
 // TestTraceStdoutDeterministic runs the command twice with the same seed
 // and requires byte-identical JSONL on stdout — the acceptance bar for
 // downstream tooling — with the human table diverted to stderr.

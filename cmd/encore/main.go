@@ -4,8 +4,8 @@
 // Usage:
 //
 //	encore [-app name] [-pmin p | -nopmin] [-gamma g] [-eta e]
-//	       [-budget b] [-alias static|optimistic] [-regions] [-ir]
-//	       [-metrics file|-] [-chrometrace file|-]
+//	       [-budget b] [-alias static|optimistic] [-engine fast|ref|closure]
+//	       [-regions] [-ir] [-metrics file|-] [-chrometrace file|-]
 //
 // With no -app it reports a one-line summary for every benchmark.
 // -metrics writes the observability snapshot of the compiles (per-stage
@@ -40,6 +40,7 @@ func main() {
 		eta       = flag.Float64("eta", 0.5, "η merge threshold")
 		budget    = flag.Float64("budget", 0.20, "overhead budget fraction")
 		aliasMode = flag.String("alias", "static", "alias analysis: static, profiled, or optimistic")
+		engine    = flag.String("engine", "", "execution engine for measurement runs: fast, ref, or closure")
 		regions   = flag.Bool("regions", false, "print per-region detail")
 		dumpIR    = flag.Bool("ir", false, "print the instrumented IR")
 		optimize  = flag.Bool("O", false, "run scalar optimizations before analysis")
@@ -71,6 +72,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "encore: unknown alias mode %q\n", *aliasMode)
 		os.Exit(2)
 	}
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encore:", err)
+		os.Exit(2)
+	}
+	cfg.Interp.Engine = eng
 
 	specs := workload.All()
 	if *file != "" {

@@ -10,6 +10,11 @@
 // Both are implemented as working recovery engines over the interpreter —
 // snapshots restore, logs unwind — so Table 1's attributes (interval
 // length, storage, checkpoint time) are measured, not asserted.
+//
+// Both schemes observe execution through interp.Hook, which pins their
+// runs to the per-instruction reference loop: Config.Engine is ignored
+// for these measurements (the fast and closure engines have no
+// per-instruction observation point by design).
 package baseline
 
 import (

@@ -161,7 +161,7 @@ func (h *Harness) AblationSignature() (*AblSignatureResult, error) {
 		}
 		// Signature overhead: instrument a fresh build and re-measure.
 		art := sp.Build()
-		base := interp.New(art.Mod, interp.Config{})
+		base := interp.New(art.Mod, interp.Config{Engine: h.Engine})
 		if _, err := base.Run(); err != nil {
 			return nil, err
 		}
@@ -175,7 +175,7 @@ func (h *Harness) AblationSignature() (*AblSignatureResult, error) {
 		for _, f := range sigArt.Mod.Funcs {
 			f.Recompute()
 		}
-		sm := interp.New(sigArt.Mod, interp.Config{})
+		sm := interp.New(sigArt.Mod, interp.Config{Engine: h.Engine})
 		if _, err := sm.Run(); err != nil {
 			return nil, err
 		}

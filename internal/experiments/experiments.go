@@ -28,6 +28,13 @@ type Harness struct {
 	Quick bool
 	// Apps restricts the benchmark set (nil = all 23).
 	Apps []string
+	// Engine selects the interpreter engine for every measurement run the
+	// harness drives — compile-time overhead measurement, profiling, SFI
+	// campaigns. All engines are observationally equivalent, so every
+	// reported number is engine-invariant; the choice only moves
+	// wall-clock. Hook-based measurements (Fig. 1's trace target, address
+	// profiling) always run on the reference loop regardless.
+	Engine interp.Engine
 }
 
 // Compile memoization: Fig. 5/6/7a/7b/8 and Table 1 all need the
@@ -45,7 +52,8 @@ var (
 // mirrors core.Config's scalar knobs; configs with a non-zero Interp
 // sub-config are not cached (interp.Config holds maps and interfaces, and
 // a custom interpreter setup usually means the caller wants a private
-// result anyway).
+// result anyway) — except for Interp.Engine, which the harness itself
+// sets on every compile and which therefore joins the key.
 type compileKey struct {
 	app       string
 	pmin      float64
@@ -55,6 +63,7 @@ type compileKey struct {
 	budget    float64
 	aliasMode alias.Mode
 	optimize  bool
+	engine    interp.Engine
 }
 
 type compileEntry struct {
@@ -79,6 +88,7 @@ func cacheKey(sp workload.Spec, cfg core.Config) (compileKey, bool) {
 		budget:    cfg.Budget,
 		aliasMode: cfg.AliasMode,
 		optimize:  cfg.Optimize,
+		engine:    ic.Engine,
 	}, true
 }
 
@@ -127,6 +137,7 @@ func compileFresh(sp workload.Spec, cfg core.Config) (*core.Result, *workload.Ar
 // fine; re-instrumenting or re-randomizing it is not — use compileFresh
 // or core.Compile directly for that, as the input-shift ablation does).
 func (h *Harness) compile(sp workload.Spec, cfg core.Config) (*core.Result, *workload.Artifact, error) {
+	cfg.Interp.Engine = h.Engine
 	key, ok := cacheKey(sp, cfg)
 	if !ok {
 		return compileFresh(sp, cfg)
@@ -186,6 +197,7 @@ type analysisKey struct {
 	eta       float64
 	aliasMode alias.Mode
 	optimize  bool
+	engine    interp.Engine
 }
 
 type analysisEntry struct {
@@ -202,6 +214,7 @@ func analysisSnapshot(sp workload.Spec, cfg core.Config) (*core.AnalysisSnapshot
 		eta:       cfg.Eta,
 		aliasMode: cfg.AliasMode,
 		optimize:  cfg.Optimize,
+		engine:    cfg.Interp.Engine,
 	}
 	analysisMu.Lock()
 	e := analysisCache[key]
@@ -219,7 +232,7 @@ func analysisSnapshot(sp workload.Spec, cfg core.Config) (*core.AnalysisSnapshot
 		c.Obs = nil // shared work reports into the default registry
 		art := sp.Build()
 		if c.AliasMode != alias.Profiled && !c.Optimize {
-			pos, err := baselineProfile(sp)
+			pos, err := baselineProfile(sp, c.Interp.Engine)
 			if err != nil {
 				e.err = err
 				return
@@ -246,8 +259,16 @@ func analysisSnapshot(sp workload.Spec, cfg core.Config) (*core.AnalysisSnapshot
 // onto each compile's fresh build.
 var (
 	profMu    sync.Mutex
-	profCache = map[string]*profEntry{}
+	profCache = map[profKey]*profEntry{}
 )
+
+// profKey: the profile's contents are engine-invariant, but keying by
+// engine keeps each engine's measurement path self-contained (and the
+// cost is one extra profiling run per engine actually used).
+type profKey struct {
+	app    string
+	engine interp.Engine
+}
 
 type profEntry struct {
 	once sync.Once
@@ -255,19 +276,20 @@ type profEntry struct {
 	err  error
 }
 
-func baselineProfile(sp workload.Spec) (*profile.Positional, error) {
+func baselineProfile(sp workload.Spec, engine interp.Engine) (*profile.Positional, error) {
+	key := profKey{app: sp.Name, engine: engine}
 	profMu.Lock()
-	e := profCache[sp.Name]
+	e := profCache[key]
 	if e == nil {
 		e = &profEntry{}
-		profCache[sp.Name] = e
+		profCache[key] = e
 	}
 	profMu.Unlock()
 	e.once.Do(func() {
 		art := sp.Build()
 		// The shared run reports into the default registry so -metrics
 		// sees the suite's baseline profiling work exactly once per app.
-		d, err := profile.Collect(art.Mod, interp.Config{Obs: obs.Default()})
+		d, err := profile.Collect(art.Mod, interp.Config{Obs: obs.Default(), Engine: engine})
 		if err != nil {
 			e.err = err
 			return
@@ -768,7 +790,7 @@ func (h *Harness) Fig8() (*Fig8Result, error) {
 		mask, err := measureMasking(func() (*ir.Module, []*ir.Global) {
 			a := sp.Build()
 			return a.Mod, a.Outputs
-		}, trials, 1234)
+		}, trials, 1234, h.Engine)
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.Name, err)
 		}

@@ -54,7 +54,7 @@ func (h *Harness) AblationInputShift(variant uint64) (*AblInputResult, error) {
 		row := AblInputRow{App: sp.Name}
 
 		trainCamp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
-			Trials: trials, Seed: 21, Dmax: 100,
+			Trials: trials, Seed: 21, Dmax: 100, Engine: h.Engine,
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.Name, err)
@@ -70,13 +70,13 @@ func (h *Harness) AblationInputShift(variant uint64) (*AblInputResult, error) {
 		}
 		ref := sp.Build()
 		workload.ReRandomize(ref, variant)
-		gm := interp.New(ref.Mod, interp.Config{})
+		gm := interp.New(ref.Mod, interp.Config{Engine: h.Engine})
 		defer gm.Release()
 		if _, err := gm.Run(); err != nil {
 			return fmt.Errorf("%s: ref golden: %w", sp.Name, err)
 		}
 		goldenRef := gm.Checksum(ref.Outputs...)
-		im := interp.New(res.Mod, interp.Config{})
+		im := interp.New(res.Mod, interp.Config{Engine: h.Engine})
 		defer im.Release()
 		im.SetRuntime(res.Metas)
 		if _, err := im.Run(); err != nil {
@@ -85,7 +85,7 @@ func (h *Harness) AblationInputShift(variant uint64) (*AblInputResult, error) {
 		row.OutputOK = im.Checksum(art.Outputs...) == goldenRef
 
 		refCamp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
-			Trials: trials, Seed: 21, Dmax: 100,
+			Trials: trials, Seed: 21, Dmax: 100, Engine: h.Engine,
 		})
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.Name, err)

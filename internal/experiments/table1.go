@@ -50,8 +50,8 @@ func (h *Harness) traceTarget(sp workload.Spec, cap int, lengths []int) (map[int
 
 // measureMasking adapts internal/sfi's masking Monte Carlo, returning only
 // the combined masked rate.
-func measureMasking(build func() (*ir.Module, []*ir.Global), trials int, seed uint64) (float64, error) {
-	res, err := sfi.MeasureMasking(build, sfi.MaskingConfig{Trials: trials, Seed: seed})
+func measureMasking(build func() (*ir.Module, []*ir.Global), trials int, seed uint64, engine interp.Engine) (float64, error) {
+	res, err := sfi.MeasureMasking(build, sfi.MaskingConfig{Trials: trials, Seed: seed, Engine: engine})
 	if err != nil {
 		return 0, err
 	}
@@ -93,7 +93,7 @@ func (h *Harness) Table1(app string) (*Table1Result, error) {
 
 	// Enterprise: interval = half the run.
 	base := sp.Build()
-	m := freshLen(base.Mod)
+	m := freshLen(base.Mod, h.Engine)
 	ent, err := baseline.MeasureEnterprise(sp.Build().Mod, max64(m/2, 1))
 	if err != nil {
 		return nil, err
@@ -150,8 +150,8 @@ func (r *Table1Result) Render(w io.Writer) {
 }
 
 // freshLen returns the baseline dynamic length of a module.
-func freshLen(mod *ir.Module) int64 {
-	m := interp.New(mod, interp.Config{})
+func freshLen(mod *ir.Module, engine interp.Engine) int64 {
+	m := interp.New(mod, interp.Config{Engine: engine})
 	defer m.Release()
 	if _, err := m.Run(); err != nil {
 		return 1

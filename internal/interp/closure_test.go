@@ -1,0 +1,150 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"encore/internal/ir"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineFast, true},
+		{"fast", EngineFast, true},
+		{"ref", EngineRef, true},
+		{"reference", EngineRef, true},
+		{"closure", EngineClosure, true},
+		{"Closure", EngineFast, false},
+		{"jit", EngineFast, false},
+	}
+	for _, c := range cases {
+		got, err := ParseEngine(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseEngine(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseEngine(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, e := range []Engine{EngineFast, EngineRef, EngineClosure} {
+		back, err := ParseEngine(e.String())
+		if err != nil || back != e {
+			t.Errorf("round trip %v: got %v, %v", e, back, err)
+		}
+	}
+}
+
+// TestClosureFaultTrajectory runs the manually instrumented checkpoint
+// region under the closure engine with an injected fault: the closure
+// segment must pause before the injection window, the reference loop
+// must roll back, and control must return to the closure engine to
+// finish — with a fault report and counters identical to the fast
+// engine's.
+func TestClosureFaultTrajectory(t *testing.T) {
+	mod, _, metas := buildCkptFunc()
+	run := func(e Engine) (*Machine, int64) {
+		mach := New(mod, Config{Engine: e})
+		mach.SetRuntime(metas)
+		mach.InjectFault(FaultPlan{Mode: CorruptOutput, InjectAt: 7, Bit: 3, DetectLatency: 0})
+		got, err := mach.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		return mach, got
+	}
+	fast, fGot := run(EngineFast)
+	clos, cGot := run(EngineClosure)
+	if cGot != 1998 || fGot != cGot {
+		t.Errorf("recovered run: closure=%d fast=%d, want 1998", cGot, fGot)
+	}
+	fr, cr := fast.FaultReport(), clos.FaultReport()
+	if fr != cr {
+		t.Errorf("fault reports diverge:\n fast:    %+v\n closure: %+v", fr, cr)
+	}
+	if !cr.Injected || !cr.Detected || !cr.RolledBack || !cr.SameInstance {
+		t.Errorf("closure fault handling incomplete: %+v", cr)
+	}
+	if fast.Count != clos.Count || fast.BaseCount != clos.BaseCount {
+		t.Errorf("counters: fast=(%d,%d) closure=(%d,%d)",
+			fast.Count, fast.BaseCount, clos.Count, clos.BaseCount)
+	}
+	if clos.HandoffsToRef == 0 || clos.HandoffsToFast == 0 {
+		t.Errorf("closure run never handed off: toRef=%d toFast=%d",
+			clos.HandoffsToRef, clos.HandoffsToFast)
+	}
+}
+
+// TestClosureBudgetTrap: budget exhaustion inside a compiled segment
+// must delegate to the fast loop and surface the identical ErrBudget
+// trap at the identical count.
+func TestClosureBudgetTrap(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("t")
+		f := m.NewFunc("main", 0)
+		b := f.NewBlock("entry")
+		c := f.NewReg()
+		b.Const(c, 1)
+		b.Jmp(b) // endless self-loop
+		f.Recompute()
+		return m
+	}
+	fast := New(build(), Config{MaxInstrs: 1000})
+	_, fErr := fast.Run()
+	clos := New(build(), Config{MaxInstrs: 1000, Engine: EngineClosure})
+	_, cErr := clos.Run()
+	if !errors.Is(fErr, ErrBudget) || !errors.Is(cErr, ErrBudget) {
+		t.Fatalf("want ErrBudget from both: fast=%v closure=%v", fErr, cErr)
+	}
+	if fast.Count != clos.Count {
+		t.Errorf("trap counts diverge: fast=%d closure=%d", fast.Count, clos.Count)
+	}
+}
+
+// TestClosureOOBTrap: a plain out-of-bounds access traps from a compiled
+// step with exact counters.
+func TestClosureOOBTrap(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", 0)
+	b := f.NewBlock("entry")
+	a, v := f.NewReg(), f.NewReg()
+	b.Const(a, -5)
+	b.Load(v, a, 0)
+	b.Ret(v)
+	f.Recompute()
+	mach := New(m, Config{Engine: EngineClosure})
+	if _, err := mach.Run(); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("want ErrOutOfBounds, got %v", err)
+	}
+	if mach.Count != 2 {
+		t.Errorf("Count = %d, want 2 (const + faulting load)", mach.Count)
+	}
+}
+
+// TestClosureResetRerun: a closure-engine machine must Reset and rerun
+// like the other engines (the SFI pool's usage pattern), reusing the
+// shared compiled program.
+func TestClosureResetRerun(t *testing.T) {
+	mod, _, metas := buildCkptFunc()
+	prog := Predecode(mod)
+	mach := New(mod, Config{Engine: EngineClosure})
+	mach.UseProgram(prog)
+	mach.SetRuntime(metas)
+	var first int64
+	for i := 0; i < 3; i++ {
+		got, err := mach.Run()
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if i == 0 {
+			first = got
+		} else if got != first {
+			t.Errorf("run %d = %d, want %d", i, got, first)
+		}
+		mach.Reset()
+	}
+}

@@ -1,6 +1,8 @@
 package interp
 
 import (
+	"sync"
+
 	"encore/internal/ir"
 )
 
@@ -91,6 +93,12 @@ type Program struct {
 	// of position (b, idx) is blockPC[b] + idx; idx == len(b.Instrs)
 	// addresses the terminator slot.
 	blockPC map[*ir.Block]int32
+
+	// Closure-compiled forms (closure.go), built lazily on first use by
+	// the closure engine and shared by every machine using this Program:
+	// index 0 is the plain variant, index 1 the profiled one.
+	closOnce [2]sync.Once
+	clos     [2]*cprog
 }
 
 // refPos maps a fast-loop pc to the (block, instruction index) position

@@ -10,12 +10,13 @@ import (
 	"encore/internal/workload"
 )
 
-// TestFastRefEquivalence is the guard for the pre-decoded fast path: for
-// every workload, uninstrumented and Encore-instrumented, the fast loop
-// and the reference loop must agree on every observable — return value,
-// trap classification, instruction counters, output checksum, checkpoint
+// TestEngineEquivalence is the guard for the quiescent engines: for
+// every workload, uninstrumented and Encore-instrumented, the
+// pre-decoded fast loop and the closure-compiled engine must agree with
+// the reference loop on every observable — return value, trap
+// classification, instruction counters, output checksum, checkpoint
 // accounting, and the execution profile.
-func TestFastRefEquivalence(t *testing.T) {
+func TestEngineEquivalence(t *testing.T) {
 	for _, sp := range workload.All() {
 		sp := sp
 		t.Run(sp.Name, func(t *testing.T) {
@@ -32,60 +33,78 @@ func TestFastRefEquivalence(t *testing.T) {
 	}
 }
 
-// sentinels are the trap classes Run can surface; the two loops word
-// their trap messages differently, so equivalence is checked per class
-// rather than on the error strings.
+// sentinels are the trap classes Run can surface; the engines word their
+// trap messages differently, so equivalence is checked per class rather
+// than on the error strings.
 var sentinels = []error{
 	interp.ErrOutOfBounds, interp.ErrBudget, interp.ErrCallDepth,
 	interp.ErrStack, interp.ErrNoMain, interp.ErrExtern,
 }
 
+// engineRun is one engine's complete observable outcome.
+type engineRun struct {
+	engine interp.Engine
+	m      *interp.Machine
+	ret    int64
+	err    error
+}
+
 func checkEquiv(t *testing.T, label string, mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global) {
 	t.Helper()
-	fast := interp.New(mod, interp.Config{Profile: true})
-	ref := interp.New(mod, interp.Config{Profile: true, Reference: true})
-	defer fast.Release()
-	defer ref.Release()
-	if metas != nil {
-		fast.SetRuntime(metas)
-		ref.SetRuntime(metas)
+	var runs []engineRun
+	for _, e := range []interp.Engine{interp.EngineRef, interp.EngineFast, interp.EngineClosure} {
+		m := interp.New(mod, interp.Config{Profile: true, Engine: e})
+		defer m.Release()
+		if metas != nil {
+			m.SetRuntime(metas)
+		}
+		ret, err := m.Run()
+		runs = append(runs, engineRun{engine: e, m: m, ret: ret, err: err})
 	}
-	fRet, fErr := fast.Run()
-	rRet, rErr := ref.Run()
+	ref := runs[0]
+	for _, r := range runs[1:] {
+		diffRuns(t, label, ref, r, outs)
+	}
+}
 
-	if (fErr == nil) != (rErr == nil) {
-		t.Fatalf("%s: error mismatch: fast=%v ref=%v", label, fErr, rErr)
+// diffRuns compares one quiescent engine's run against the reference
+// oracle's.
+func diffRuns(t *testing.T, label string, ref, got engineRun, outs []*ir.Global) {
+	t.Helper()
+	label = label + "/" + got.engine.String()
+	if (got.err == nil) != (ref.err == nil) {
+		t.Fatalf("%s: error mismatch: got=%v ref=%v", label, got.err, ref.err)
 	}
 	for _, s := range sentinels {
-		if errors.Is(fErr, s) != errors.Is(rErr, s) {
-			t.Fatalf("%s: trap class mismatch on %v: fast=%v ref=%v", label, s, fErr, rErr)
+		if errors.Is(got.err, s) != errors.Is(ref.err, s) {
+			t.Fatalf("%s: trap class mismatch on %v: got=%v ref=%v", label, s, got.err, ref.err)
 		}
 	}
-	if fRet != rRet {
-		t.Errorf("%s: return value: fast=%d ref=%d", label, fRet, rRet)
+	if got.ret != ref.ret {
+		t.Errorf("%s: return value: got=%d ref=%d", label, got.ret, ref.ret)
 	}
-	if fast.Count != ref.Count || fast.BaseCount != ref.BaseCount {
-		t.Errorf("%s: counters: fast=(%d,%d) ref=(%d,%d)", label,
-			fast.Count, fast.BaseCount, ref.Count, ref.BaseCount)
+	if got.m.Count != ref.m.Count || got.m.BaseCount != ref.m.BaseCount {
+		t.Errorf("%s: counters: got=(%d,%d) ref=(%d,%d)", label,
+			got.m.Count, got.m.BaseCount, ref.m.Count, ref.m.BaseCount)
 	}
-	if fc, rc := fast.Checksum(outs...), ref.Checksum(outs...); fc != rc {
-		t.Errorf("%s: checksum: fast=%#x ref=%#x", label, fc, rc)
+	if gc, rc := got.m.Checksum(outs...), ref.m.Checksum(outs...); gc != rc {
+		t.Errorf("%s: checksum: got=%#x ref=%#x", label, gc, rc)
 	}
-	if fast.CkptRegBytes != ref.CkptRegBytes || fast.CkptMemBytes != ref.CkptMemBytes {
-		t.Errorf("%s: ckpt bytes: fast=(%d,%d) ref=(%d,%d)", label,
-			fast.CkptRegBytes, fast.CkptMemBytes, ref.CkptRegBytes, ref.CkptMemBytes)
+	if got.m.CkptRegBytes != ref.m.CkptRegBytes || got.m.CkptMemBytes != ref.m.CkptMemBytes {
+		t.Errorf("%s: ckpt bytes: got=(%d,%d) ref=(%d,%d)", label,
+			got.m.CkptRegBytes, got.m.CkptMemBytes, ref.m.CkptRegBytes, ref.m.CkptMemBytes)
 	}
-	if fast.RegionEntries != ref.RegionEntries {
-		t.Errorf("%s: region entries: fast=%d ref=%d", label, fast.RegionEntries, ref.RegionEntries)
+	if got.m.RegionEntries != ref.m.RegionEntries {
+		t.Errorf("%s: region entries: got=%d ref=%d", label, got.m.RegionEntries, ref.m.RegionEntries)
 	}
-	if fast.MaxBufferBytes != ref.MaxBufferBytes {
-		t.Errorf("%s: max buffer: fast=%d ref=%d", label, fast.MaxBufferBytes, ref.MaxBufferBytes)
+	if got.m.MaxBufferBytes != ref.m.MaxBufferBytes {
+		t.Errorf("%s: max buffer: got=%d ref=%d", label, got.m.MaxBufferBytes, ref.m.MaxBufferBytes)
 	}
 
-	// Profile equivalence by Freq semantics: the fast path's merged dense
-	// counters may leave explicit zero entries the reference path never
-	// creates, so zero-valued entries are identity.
-	for _, pair := range []struct{ a, b *interp.Profile }{{fast.Prof, ref.Prof}, {ref.Prof, fast.Prof}} {
+	// Profile equivalence by Freq semantics: the quiescent engines' merged
+	// dense counters may leave explicit zero entries the reference path
+	// never creates, so zero-valued entries are identity.
+	for _, pair := range []struct{ a, b *interp.Profile }{{got.m.Prof, ref.m.Prof}, {ref.m.Prof, got.m.Prof}} {
 		for b, c := range pair.a.Block {
 			if c != 0 && pair.b.Block[b] != c {
 				t.Errorf("%s: block freq %s: %d vs %d", label, b, c, pair.b.Block[b])

@@ -10,20 +10,25 @@
 // executed against per-region checkpoint buffers, mirroring the reserved
 // stack region the paper describes (§3.2).
 //
-// Execution is served by two interchangeable engines. The fast engine
-// (run.go) dispatches over a pre-decoded flat instruction stream
-// (decode.go) with all hot state in locals and no per-instruction hook,
-// fault, or metric checks; block and edge profiles are kept in dense
-// arrays indexed by pre-decoded IDs and folded into the Profile maps only
-// at loop exit. The reference engine (ref.go) walks the ir structures
-// directly, carries the full observation machinery (hooks, fault
-// injection, scheduled detection), and doubles as the semantic oracle:
-// the equivalence guard test pins the fast engine to it on every
-// workload. A run may hand control back and forth — the fast loop pauses
-// at the next pending fault event and resumes once the fault settles —
-// and the machine counts those handoffs. Observability likewise stays
-// off the hot path: a machine with an attached obs.Registry (AttachObs,
-// or Config.Obs) folds its counters in only at Reset/Release boundaries.
+// Execution is served by three interchangeable engines, selected by
+// Config.Engine (engine.go). The fast engine (run.go, the default)
+// dispatches over a pre-decoded flat instruction stream (decode.go) with
+// all hot state in locals and no per-instruction hook, fault, or metric
+// checks; block and edge profiles are kept in dense arrays indexed by
+// pre-decoded IDs and folded into the Profile maps only at loop exit.
+// The closure engine (closure.go) AOT-compiles that stream into
+// threaded-code closures — one per instruction, linked by direct
+// continuation calls with block-batched instruction accounting — for
+// another dispatch-cost step down. The reference engine (ref.go) walks
+// the ir structures directly, carries the full observation machinery
+// (hooks, fault injection, scheduled detection), and doubles as the
+// semantic oracle: the equivalence guard test pins both other engines to
+// it on every workload. A run may hand control back and forth — the
+// quiescent engine pauses at the next pending fault event and resumes
+// once the fault settles — and the machine counts those handoffs.
+// Observability likewise stays off the hot path: a machine with an
+// attached obs.Registry (AttachObs, or Config.Obs) folds its counters in
+// only at Reset/Release boundaries.
 package interp
 
 import (
@@ -114,8 +119,17 @@ type Config struct {
 	// Reference forces the reference dispatch loop even when no hook or
 	// fault plan is present. Used by the equivalence guard tests and
 	// benchmarks to compare the pre-decoded fast path against the
-	// semantic oracle.
+	// semantic oracle. Equivalent to Engine == EngineRef, which it
+	// predates.
 	Reference bool
+
+	// Engine selects the dispatch engine for quiescent execution
+	// (engine.go): the pre-decoded fast loop (EngineFast, the zero
+	// default), the reference loop (EngineRef), or the closure-compiled
+	// engine (EngineClosure). A Hook or the active phase of a fault
+	// overrides the selection with the reference loop; all engines are
+	// observationally equivalent.
+	Engine Engine
 
 	// Obs, when non-nil, attaches the machine to a metrics registry:
 	// execution, checkpoint-traffic, and engine-handoff counters are

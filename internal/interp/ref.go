@@ -35,12 +35,14 @@ func (m *Machine) loopRefFrom(baseDepth int, b *ir.Block, idx int) (int64, error
 	for {
 		// Once a fault is injected, the only event the reference loop owns
 		// is its detection — and that fires at a known instruction count,
-		// which the fast loop can stop at. So as soon as the fault is
-		// quiescent (injected with detection still in the future, or fully
-		// settled after detection) and no hook is observing, hand control
-		// back to the fast loop: the mirror image of its InjectAt-1 pause.
-		// A detection that is already due must fire here first.
+		// which the quiescent engines can stop at. So as soon as the fault
+		// is quiescent (injected with detection still in the future, or
+		// fully settled after detection) and no hook is observing, hand
+		// control back to the configured quiescent engine: the mirror
+		// image of its InjectAt-1 pause. A detection that is already due
+		// must fire here first.
 		if m.fault != nil && m.fault.injected && m.Cfg.Hook == nil && !m.Cfg.Reference &&
+			m.Cfg.Engine != EngineRef &&
 			(m.fault.detected || m.Count < m.fault.detectAt) {
 			p := m.program()
 			for d := baseDepth; d < len(m.frames)-1; d++ {
@@ -50,11 +52,11 @@ func (m *Machine) loopRefFrom(baseDepth int, b *ir.Block, idx int) (int64, error
 			}
 			pc := p.blockPC[b] + int32(idx)
 			if m.Prof != nil {
-				// The fast loop counts a block when its terminator
-				// retires; cancel that upcoming retire — either this
-				// segment already counted the block at entry, or (after a
-				// rollback) the reference loop would not have counted the
-				// recovery block at all.
+				// The fast and closure engines count a block when its
+				// terminator retires; cancel that upcoming retire — either
+				// this segment already counted the block at entry, or
+				// (after a rollback) the reference loop would not have
+				// counted the recovery block at all.
 				if len(m.pBlocks) != len(p.blocks) {
 					m.pBlocks = make([]int64, len(p.blocks))
 					m.pEdges = make([]int64, p.numEdges)
@@ -62,6 +64,9 @@ func (m *Machine) loopRefFrom(baseDepth int, b *ir.Block, idx int) (int64, error
 				m.pBlocks[p.blockOf[pc]]--
 			}
 			m.HandoffsToFast++
+			if m.Cfg.Engine == EngineClosure {
+				return m.loopClosureFrom(baseDepth, pc)
+			}
 			return m.loopFastFrom(baseDepth, pc)
 		}
 		if m.Count >= m.Cfg.MaxInstrs {

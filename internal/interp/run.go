@@ -15,24 +15,28 @@ func (m *Machine) Run() (int64, error) {
 
 // Call executes fn with the given arguments and returns its result.
 //
-// Dispatch is split into two loops. The fast path runs the pre-decoded
-// instruction stream with no per-instruction hook or fault checks; it is
-// selected whenever neither a Hook nor an armed fault plan is present.
-// The reference path (ref.go) walks the ir structures directly and
-// carries the full observation machinery; it also serves as the semantic
-// oracle for the equivalence tests (Config.Reference forces it).
+// Dispatch is split across three engines (engine.go). The reference path
+// (ref.go) walks the ir structures directly and carries the full
+// observation machinery; it is selected by a Hook, by Config.Reference /
+// EngineRef, and for the active phase of a fault, and it doubles as the
+// semantic oracle for the equivalence tests. Otherwise Config.Engine
+// picks the quiescent engine: the pre-decoded fast loop (run.go, the
+// default) or the closure-compiled engine (closure.go).
 func (m *Machine) Call(fn *ir.Func, args ...int64) (int64, error) {
 	if err := m.pushFrame(fn, args); err != nil {
 		return 0, err
 	}
-	if m.Cfg.Hook != nil || m.Cfg.Reference ||
+	if m.Cfg.Hook != nil || m.Cfg.Reference || m.Cfg.Engine == EngineRef ||
 		(m.fault != nil && m.fault.injected && !m.fault.detected) {
 		return m.loopRef()
 	}
-	// An armed-but-uninjected fault plan still starts on the fast path:
-	// loopFast pauses just before the injection window opens and hands the
-	// active phase of the fault (injection through detection) to the
+	// An armed-but-uninjected fault plan still starts on the quiescent
+	// engine: it pauses just before the injection window opens and hands
+	// the active phase of the fault (injection through detection) to the
 	// reference loop, which hands control back once the fault settles.
+	if m.Cfg.Engine == EngineClosure {
+		return m.loopClosure()
+	}
 	return m.loopFast()
 }
 

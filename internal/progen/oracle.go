@@ -241,9 +241,13 @@ func CheckRecovery(p Params) (int, error) {
 
 // CheckEngines is the engine-equivalence oracle: the generated program —
 // both uninstrumented and instrumented — must produce identical
-// trajectories on the pre-decoded fast path and the reference loop:
-// return value, instruction counters, checkpoint traffic, region entries,
-// memory/output checksum, and execution profile.
+// trajectories on every quiescent engine (the pre-decoded fast loop and
+// the closure-compiled engine) as on the reference loop: return value,
+// instruction counters, checkpoint traffic, region entries, memory/output
+// checksum, and execution profile. The instrumented program is then swept
+// with injected bit-flips under the fast and closure engines, which must
+// agree on the complete fault trajectory — exercising the closure
+// engine's delegation, rollback, and hand-back arms.
 func CheckEngines(p Params) error {
 	p = p.Normalized()
 	mod := Generate(p)
@@ -265,49 +269,137 @@ func CheckEngines(p Params) error {
 	if err != nil {
 		return &Counterexample{Oracle: "compile", Params: p, Detail: err.Error(), IR: imod.String()}
 	}
-	return diffEngines(p, res.Mod, res.Metas, "instrumented")
+	if err := diffEngines(p, res.Mod, res.Metas, "instrumented"); err != nil {
+		return err
+	}
+	return diffFaultedEngines(p, res)
 }
 
-// diffEngines runs mod through both dispatch loops and diffs everything
-// observable.
+// diffEngines runs mod through the reference loop and each quiescent
+// engine, diffing everything observable against the reference run.
 func diffEngines(p Params, mod *ir.Module, metas []interp.RegionMeta, label string) error {
-	run := func(reference bool) (*interp.Machine, int64, error) {
-		m := interp.New(mod, interp.Config{MaxInstrs: oracleBudget, Profile: true, Reference: reference})
+	run := func(e interp.Engine) (*interp.Machine, int64, error) {
+		m := interp.New(mod, interp.Config{MaxInstrs: oracleBudget, Profile: true, Engine: e})
 		if metas != nil {
 			m.SetRuntime(metas)
 		}
 		ret, err := m.Run()
 		return m, ret, err
 	}
-	fast, fret, ferr := run(false)
-	defer fast.Release()
-	ref, rret, rerr := run(true)
+	ref, rret, rerr := run(interp.EngineRef)
 	defer ref.Release()
-	fail := func(detail string) error {
-		return &Counterexample{Oracle: "engines", Params: p,
-			Detail: fmt.Sprintf("%s module: %s", label, detail), IR: mod.String()}
+	diff := func(e interp.Engine) error {
+		got, gret, gerr := run(e)
+		defer got.Release()
+		fail := func(detail string) error {
+			return &Counterexample{Oracle: "engines", Params: p,
+				Detail: fmt.Sprintf("%s module, %s engine: %s", label, e, detail), IR: mod.String()}
+		}
+		if gerr != nil || rerr != nil {
+			return fail(fmt.Sprintf("run errors: %s=%v ref=%v", e, gerr, rerr))
+		}
+		if gret != rret {
+			return fail(fmt.Sprintf("return: %s=%d ref=%d", e, gret, rret))
+		}
+		if got.Count != ref.Count || got.BaseCount != ref.BaseCount {
+			return fail(fmt.Sprintf("counters: %s=(%d,%d) ref=(%d,%d)",
+				e, got.Count, got.BaseCount, ref.Count, ref.BaseCount))
+		}
+		if gs, rs := got.Checksum(mod.Globals...), ref.Checksum(mod.Globals...); gs != rs {
+			return fail(fmt.Sprintf("checksum: %s=%#x ref=%#x", e, gs, rs))
+		}
+		if got.CkptRegBytes != ref.CkptRegBytes || got.CkptMemBytes != ref.CkptMemBytes ||
+			got.RegionEntries != ref.RegionEntries || got.MaxBufferBytes != ref.MaxBufferBytes {
+			return fail(fmt.Sprintf("ckpt traffic: %s=(%d,%d,%d,%d) ref=(%d,%d,%d,%d)",
+				e, got.CkptRegBytes, got.CkptMemBytes, got.RegionEntries, got.MaxBufferBytes,
+				ref.CkptRegBytes, ref.CkptMemBytes, ref.RegionEntries, ref.MaxBufferBytes))
+		}
+		if detail, ok := diffProfiles(got.Prof, ref.Prof); !ok {
+			return fail(fmt.Sprintf("profile vs ref: %s", detail))
+		}
+		return nil
 	}
-	if ferr != nil || rerr != nil {
-		return fail(fmt.Sprintf("run errors: fast=%v ref=%v", ferr, rerr))
+	for _, e := range []interp.Engine{interp.EngineFast, interp.EngineClosure} {
+		if err := diff(e); err != nil {
+			return err
+		}
 	}
-	if fret != rret {
-		return fail(fmt.Sprintf("return: fast=%d ref=%d", fret, rret))
+	return nil
+}
+
+// faultPoints caps the injected sweep of the faulted engine comparison:
+// CheckRecovery already sweeps the fast loop densely, so a thin sample
+// suffices to pin the closure engine's fault arms against it.
+const faultPoints = 24
+
+// diffFaultedEngines drives the instrumented program through injected
+// bit-flip trials on the fast and closure engines and requires identical
+// fault trajectories: the closure engine must pause before each
+// injection window, delegate to the reference loop at the same point the
+// fast loop hands off, and resume where it does — so the complete fault
+// report, handoff tallies, instruction counters, recovered return value,
+// and final checksum all match, trial by trial.
+func diffFaultedEngines(p Params, res *core.Result) error {
+	run := func(e interp.Engine) *interp.Machine {
+		m := interp.New(res.Mod, interp.Config{MaxInstrs: oracleBudget, Engine: e})
+		m.SetRuntime(res.Metas)
+		return m
 	}
-	if fast.Count != ref.Count || fast.BaseCount != ref.BaseCount {
-		return fail(fmt.Sprintf("counters: fast=(%d,%d) ref=(%d,%d)",
-			fast.Count, fast.BaseCount, ref.Count, ref.BaseCount))
+	fast := run(interp.EngineFast)
+	defer fast.Release()
+	clos := run(interp.EngineClosure)
+	defer clos.Release()
+	if _, err := fast.Run(); err != nil {
+		return nil // fault-free failures are diffEngines's to report
 	}
-	if fs, rs := fast.Checksum(mod.Globals...), ref.Checksum(mod.Globals...); fs != rs {
-		return fail(fmt.Sprintf("checksum: fast=%#x ref=%#x", fs, rs))
+	total := fast.Count
+	if total < minDynInstrs {
+		return nil
 	}
-	if fast.CkptRegBytes != ref.CkptRegBytes || fast.CkptMemBytes != ref.CkptMemBytes ||
-		fast.RegionEntries != ref.RegionEntries || fast.MaxBufferBytes != ref.MaxBufferBytes {
-		return fail(fmt.Sprintf("ckpt traffic: fast=(%d,%d,%d,%d) ref=(%d,%d,%d,%d)",
-			fast.CkptRegBytes, fast.CkptMemBytes, fast.RegionEntries, fast.MaxBufferBytes,
-			ref.CkptRegBytes, ref.CkptMemBytes, ref.RegionEntries, ref.MaxBufferBytes))
+	step := (total - 1) / faultPoints
+	if step < 1 {
+		step = 1
 	}
-	if detail, ok := diffProfiles(fast.Prof, ref.Prof); !ok {
-		return fail("profile: " + detail)
+	for at := int64(1); at < total; at += step {
+		plan := interp.FaultPlan{
+			Mode:          interp.CorruptOutput,
+			InjectAt:      at,
+			Bit:           uint8((uint64(at)*11 + p.Seed) % 48),
+			DetectLatency: at % 3, // cover zero- and nonzero-latency windows
+		}
+		fail := func(detail string) error {
+			return &Counterexample{Oracle: "engines", Params: p,
+				Detail: fmt.Sprintf("faulted trial at %d: %s", at, detail), IR: res.Mod.String()}
+		}
+		fast.Reset()
+		fast.InjectFault(plan)
+		fret, ferr := fast.Run()
+		clos.Reset()
+		clos.InjectFault(plan)
+		cret, cerr := clos.Run()
+		if (ferr == nil) != (cerr == nil) {
+			return fail(fmt.Sprintf("run errors: fast=%v closure=%v", ferr, cerr))
+		}
+		if fr, cr := fast.FaultReport(), clos.FaultReport(); fr != cr {
+			return fail(fmt.Sprintf("fault reports diverge:\nfast:    %+v\nclosure: %+v", fr, cr))
+		}
+		if fast.Count != clos.Count || fast.BaseCount != clos.BaseCount {
+			return fail(fmt.Sprintf("counters: fast=(%d,%d) closure=(%d,%d)",
+				fast.Count, fast.BaseCount, clos.Count, clos.BaseCount))
+		}
+		if fast.HandoffsToRef != clos.HandoffsToRef || fast.HandoffsToFast != clos.HandoffsToFast {
+			return fail(fmt.Sprintf("handoffs: fast=(%d,%d) closure=(%d,%d)",
+				fast.HandoffsToRef, fast.HandoffsToFast, clos.HandoffsToRef, clos.HandoffsToFast))
+		}
+		if ferr != nil {
+			continue // matching trap class; state after a trap carries no promise
+		}
+		if fret != cret {
+			return fail(fmt.Sprintf("return: fast=%d closure=%d", fret, cret))
+		}
+		if fs, cs := fast.Checksum(res.Mod.Globals...), clos.Checksum(res.Mod.Globals...); fs != cs {
+			return fail(fmt.Sprintf("checksum: fast=%#x closure=%#x", fs, cs))
+		}
 	}
 	return nil
 }
@@ -324,7 +416,7 @@ func diffProfiles(a, b *interp.Profile) (string, bool) {
 	}
 	for blk := range blocks {
 		if a.Block[blk] != b.Block[blk] {
-			return fmt.Sprintf("block %s: fast=%d ref=%d", blk, a.Block[blk], b.Block[blk]), false
+			return fmt.Sprintf("block %s: got=%d ref=%d", blk, a.Block[blk], b.Block[blk]), false
 		}
 	}
 	edges := map[*ir.Block]bool{}
@@ -349,7 +441,7 @@ func diffProfiles(a, b *interp.Profile) (string, bool) {
 				bv = be[i]
 			}
 			if av != bv {
-				return fmt.Sprintf("edge %s[%d]: fast=%d ref=%d", blk, i, av, bv), false
+				return fmt.Sprintf("edge %s[%d]: got=%d ref=%d", blk, i, av, bv), false
 			}
 		}
 	}

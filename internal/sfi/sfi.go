@@ -56,6 +56,11 @@ type MaskingConfig struct {
 	LatchFraction float64 // 0 selects DefaultLatchFraction
 	Workers       int     // trial parallelism; normalized via ClampWorkers
 
+	// Engine selects the interpreter engine the golden run and every
+	// trial machine use. All engines produce bit-identical trial
+	// outcomes; the choice only affects throughput.
+	Engine interp.Engine
+
 	// Obs selects the metrics registry for the "sfi/masking" span, the
 	// per-outcome counters, and worker throughput. Nil selects
 	// obs.Default().
@@ -97,7 +102,7 @@ func MeasureMasking(build func() (*ir.Module, []*ir.Global), cfg MaskingConfig) 
 	sp := reg.Span("sfi/masking")
 	defer sp.End()
 	mod, outs := build()
-	pool := newMachinePool(mod, nil)
+	pool := newMachinePool(mod, nil, cfg.Engine)
 	m := pool.get()
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("sfi: golden run: %w", err)
@@ -233,6 +238,14 @@ type CampaignConfig struct {
 	Dmax    int64 // maximum detection latency, uniform [0, Dmax]
 	Workers int   // trial parallelism; normalized via ClampWorkers
 
+	// Engine selects the interpreter engine the golden run and every
+	// trial machine use for quiescent execution (the active phase of each
+	// fault always runs on the reference loop). Campaign results and the
+	// trial ledger are bit-identical across engines — the engine
+	// equivalence tests pin that down — so the choice only affects trial
+	// throughput.
+	Engine interp.Engine
+
 	// Obs selects the metrics registry for the "sfi/campaign" span, the
 	// "sfi.outcome.*" counters, and worker throughput. Nil selects
 	// obs.Default().
@@ -308,7 +321,7 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	reg := obs.Or(cfg.Obs)
 	sp := reg.Span("sfi/campaign")
 	defer sp.End()
-	pool := newMachinePool(mod, metas)
+	pool := newMachinePool(mod, metas, cfg.Engine)
 	m := pool.get()
 	if _, err := m.Run(); err != nil {
 		return nil, fmt.Errorf("sfi: golden run: %w", err)
@@ -395,11 +408,11 @@ type machinePool struct {
 	pool sync.Pool
 }
 
-func newMachinePool(mod *ir.Module, metas []interp.RegionMeta) *machinePool {
+func newMachinePool(mod *ir.Module, metas []interp.RegionMeta, engine interp.Engine) *machinePool {
 	prog := interp.Predecode(mod)
 	p := &machinePool{}
 	p.pool.New = func() any {
-		w := interp.New(mod, interp.Config{})
+		w := interp.New(mod, interp.Config{Engine: engine})
 		w.UseProgram(prog)
 		if metas != nil {
 			w.SetRuntime(metas)

@@ -1,12 +1,15 @@
 #!/bin/sh
 # Repository health gate: formatting, vet, doc-comment lint, the full
 # test suite, the race detector over the packages that run concurrent
-# machinery (the obs registry, the compiler's per-function analysis
-# fan-out, the SFI trial pool, and the experiments compile cache /
-# worker pool), a short-budget run of the generative fuzz oracles
-# (internal/progen), plus command smoke runs that exercise the
-# observability flags end to end — including a check that metrics
-# counters are identical under ENCORE_WORKERS=1 and the default pool.
+# machinery (the interpreter's shared closure-compiled programs, the obs
+# registry, the compiler's per-function analysis fan-out, the SFI trial
+# pool, and the experiments compile cache / worker pool), a short-budget
+# run of the generative fuzz oracles (internal/progen), plus command
+# smoke runs that exercise the observability flags end to end —
+# including a check that metrics counters are identical under
+# ENCORE_WORKERS=1 and the default pool, and that the closure execution
+# engine reproduces the fast engine's output bit for bit across the full
+# workload suite and the SFI trial ledger.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -33,8 +36,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/obs ./internal/core ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen"
-go test -race ./internal/obs ./internal/core ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen
+echo "==> go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen"
+go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen
 
 echo "==> fuzz smoke (generative oracles, ${FUZZTIME:-10s} per target)"
 make -s fuzz-smoke FUZZTIME="${FUZZTIME:-10s}"
@@ -59,6 +62,9 @@ echo "==> flag surface (-h must document the observability flags)"
 "$tmp/encore-sfi" -h 2>&1 | grep -q -- '-chrometrace' || { echo "encore-sfi -h: missing -chrometrace" >&2; exit 1; }
 "$tmp/encore-bench" -h 2>&1 | grep -q -- '-chrometrace' || { echo "encore-bench -h: missing -chrometrace" >&2; exit 1; }
 "$tmp/encore" -h 2>&1 | grep -q -- '-chrometrace' || { echo "encore -h: missing -chrometrace" >&2; exit 1; }
+"$tmp/encore" -h 2>&1 | grep -q -- '-engine' || { echo "encore -h: missing -engine" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-engine' || { echo "encore-sfi -h: missing -engine" >&2; exit 1; }
+"$tmp/encore-bench" -h 2>&1 | grep -q -- '-engine' || { echo "encore-bench -h: missing -engine" >&2; exit 1; }
 
 echo "==> smoke: encore"
 "$tmp/encore" -app rawcaudio -metrics "$tmp/encore.json" > /dev/null
@@ -79,6 +85,22 @@ grep -q 'measured same-instance' "$tmp/report.txt" || { echo "encore-sfi -report
 grep -q '|err|' "$tmp/report.txt" || { echo "encore-sfi -report: no abs-error column" >&2; exit 1; }
 "$tmp/encore-sfi" -trace "$tmp/trace2.jsonl" -app rawcaudio -trials 5 > /dev/null
 cmp -s "$tmp/trace.jsonl" "$tmp/trace2.jsonl" || { echo "encore-sfi -trace: not byte-identical across runs" >&2; exit 1; }
+
+echo "==> smoke: closure engine identical across the full workload suite"
+# The per-app report covers measured overhead, checkpoint traffic, and
+# region selection for all 23 workloads: any divergence between engines
+# in counting, checkpointing, or profiling shows up as a report diff.
+"$tmp/encore" -engine fast > "$tmp/report-fast.txt"
+"$tmp/encore" -engine closure > "$tmp/report-closure.txt"
+cmp -s "$tmp/report-fast.txt" "$tmp/report-closure.txt" || {
+	echo "encore: closure engine report differs from fast engine:" >&2
+	diff "$tmp/report-fast.txt" "$tmp/report-closure.txt" >&2 || true
+	exit 1
+}
+
+echo "==> smoke: closure engine reproduces the SFI trial ledger byte for byte"
+"$tmp/encore-sfi" -app rawcaudio -trials 5 -engine closure -trace "$tmp/trace-closure.jsonl" > /dev/null
+cmp -s "$tmp/trace.jsonl" "$tmp/trace-closure.jsonl" || { echo "encore-sfi -engine closure: trial ledger differs from fast engine" >&2; exit 1; }
 
 echo "==> smoke: encore-bench"
 "$tmp/encore-bench" -exp fig5 -apps rawcaudio,rawdaudio -quick -metrics "$tmp/bench.json" > /dev/null
