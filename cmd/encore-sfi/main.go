@@ -43,6 +43,7 @@ import (
 	"encore/internal/interp"
 	"encore/internal/ir"
 	"encore/internal/obs"
+	"encore/internal/serve"
 	"encore/internal/sfi"
 	"encore/internal/workload"
 )
@@ -149,7 +150,7 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		camp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
 			Trials: *trials, Seed: *seed, Dmax: *dmax, Workers: *workers,
 			Engine: eng, Obs: reg, Progress: prog,
-			App: sp.Name, Regions: regionTable(res, *dmax), Trace: sink,
+			App: sp.Name, Regions: serve.RegionTable(res, *dmax), Trace: sink,
 		})
 		prog.Finish()
 		if err != nil {
@@ -190,20 +191,6 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("chrometrace: %w", err)
 	}
 	return nil
-}
-
-// regionTable converts a compile result's per-region coverage rows into
-// the ledger's prediction table.
-func regionTable(res *core.Result, dmax int64) []sfi.RegionInfo {
-	var out []sfi.RegionInfo
-	for _, rc := range res.RegionCoverages(float64(dmax)) {
-		out = append(out, sfi.RegionInfo{
-			ID: rc.ID, Fn: rc.Fn, Header: rc.Header, Class: rc.Class.String(),
-			Selected: rc.Selected, DynFrac: rc.DynFrac,
-			InstanceLen: rc.InstanceLen, Alpha: rc.Alpha,
-		})
-	}
-	return out
 }
 
 // runReport ingests a JSONL trial trace and writes the attribution report.

@@ -16,7 +16,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"encore/internal/alias"
 	"encore/internal/idem"
@@ -214,28 +213,13 @@ func Analyze(mod *ir.Module, cfg Config) (*Analysis, error) {
 	if workers <= 0 {
 		workers = workpool.FromEnv()
 	}
-	if workers = workpool.Clamp(workers, len(work)); workers <= 1 {
-		for i := range work {
-			analyzeFunc(i)
+	workpool.Dispatch(len(work), 1, workers, nil, func(_ int, pull func() (workpool.Shard, bool)) {
+		for sh, ok := pull(); ok; sh, ok = pull() {
+			for i := sh.Lo; i < sh.Hi; i++ {
+				analyzeFunc(i)
+			}
 		}
-	} else {
-		next := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					analyzeFunc(i)
-				}
-			}()
-		}
-		for i := range work {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	})
 	var regions, candidates []*region.Region
 	for _, o := range outs {
 		regions = append(regions, o.final...)

@@ -18,8 +18,8 @@ import (
 	"encore/internal/ir"
 	"encore/internal/obs"
 	"encore/internal/profile"
-	"encore/internal/sfi"
 	"encore/internal/workload"
+	"encore/internal/workpool"
 )
 
 // Harness carries the experiment-wide knobs.
@@ -182,48 +182,13 @@ func compileStaged(sp workload.Spec, cfg core.Config) (*core.Result, *workload.A
 // Analysis memoization, the second cache level: γ/budget only matter to
 // Finalize, so every compileCache entry that shares (app, Pmin, η, alias
 // mode, optimize) shares one core.Analyze — asserted by the
-// "compile.analyze.runs" counter. Like the compile cache it is
-// process-wide and each entry computes exactly once.
-var (
-	analysisMu    sync.Mutex
-	analysisCache = map[analysisKey]*analysisEntry{}
-)
-
-// analysisKey is compileKey minus the finalization knobs (γ, budget).
-type analysisKey struct {
-	app       string
-	pmin      float64
-	usePmin   bool
-	eta       float64
-	aliasMode alias.Mode
-	optimize  bool
-	engine    interp.Engine
-}
-
-type analysisEntry struct {
-	once sync.Once
-	snap *core.AnalysisSnapshot
-	err  error
-}
+// "compile.analyze.runs" counter. The cache itself is the shared
+// core.SnapshotCache (the same machinery internal/serve keys campaigns
+// on); this process-wide instance memoizes the benchmark suite.
+var analysisCache = core.NewSnapshotCache()
 
 func analysisSnapshot(sp workload.Spec, cfg core.Config) (*core.AnalysisSnapshot, error) {
-	key := analysisKey{
-		app:       sp.Name,
-		pmin:      cfg.Pmin,
-		usePmin:   cfg.UsePmin,
-		eta:       cfg.Eta,
-		aliasMode: cfg.AliasMode,
-		optimize:  cfg.Optimize,
-		engine:    cfg.Interp.Engine,
-	}
-	analysisMu.Lock()
-	e := analysisCache[key]
-	if e == nil {
-		e = &analysisEntry{}
-		analysisCache[key] = e
-	}
-	analysisMu.Unlock()
-	e.once.Do(func() {
+	return analysisCache.Get("workload:"+sp.Name, cfg, func() (*core.Analysis, error) {
 		// All cached analyses of one app share a single baseline
 		// profiling run, replayed onto this build. Profiled alias mode
 		// collects its own run regardless, and Optimize would change the
@@ -234,24 +199,16 @@ func analysisSnapshot(sp workload.Spec, cfg core.Config) (*core.AnalysisSnapshot
 		if c.AliasMode != alias.Profiled && !c.Optimize {
 			pos, err := baselineProfile(sp, c.Interp.Engine)
 			if err != nil {
-				e.err = err
-				return
+				return nil, err
 			}
 			c.Profile = pos.Materialize(art.Mod)
 		}
 		a, err := core.Analyze(art.Mod, c)
 		if err != nil {
-			e.err = fmt.Errorf("%s: %w", sp.Name, err)
-			return
+			return nil, fmt.Errorf("%s: %w", sp.Name, err)
 		}
-		snap, err := a.Snapshot()
-		if err != nil {
-			e.err = fmt.Errorf("%s: %w", sp.Name, err)
-			return
-		}
-		e.snap = snap
+		return a, nil
 	})
-	return e.snap, e.err
 }
 
 // Baseline-profile memoization: one profiling run per app, shared by
@@ -306,24 +263,14 @@ func baselineProfile(sp workload.Spec, engine interp.Engine) (*profile.Positiona
 // count. The first error wins.
 func (h *Harness) forEachSpec(fn func(i int, sp workload.Spec) error) error {
 	specs := h.specs()
-	workers := sfi.ClampWorkers(sfi.EnvWorkers(), len(specs))
-	var wg sync.WaitGroup
-	idx := make(chan int)
 	errs := make([]error, len(specs))
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
+	workpool.Dispatch(len(specs), 1, workpool.FromEnv(), nil, func(_ int, pull func() (workpool.Shard, bool)) {
+		for sh, ok := pull(); ok; sh, ok = pull() {
+			for i := sh.Lo; i < sh.Hi; i++ {
 				errs[i] = fn(i, specs[i])
 			}
-		}()
-	}
-	for i := range specs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+		}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err

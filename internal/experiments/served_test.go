@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestServedQuick runs the served-vs-batch comparison at quick scale;
+// the byte-equality oracle inside Served is the real assertion.
+func TestServedQuick(t *testing.T) {
+	h := &Harness{Quick: true}
+	res, err := h.Served("rawcaudio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0].Mode != "batch" || res.Rows[1].Mode != "served" {
+		t.Fatalf("rows = %+v, want batch then served", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.TrialsPerSec <= 0 || row.CampaignsPerSec <= 0 {
+			t.Fatalf("row %q has non-positive throughput: %+v", row.Mode, row)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "byte-identical") {
+		t.Fatalf("render missing the equality note:\n%s", buf.String())
+	}
+}

@@ -59,6 +59,38 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge is a settable int64 metric for instantaneous levels (queue
+// depth, in-flight trials) rather than accumulated totals. The zero
+// value is ready to use; the methods are safe for concurrent use and a
+// nil receiver is a no-op, mirroring Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative d lowers it).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // histBuckets is the number of log2 buckets: bucket i holds values v
 // with bits.Len64(v) == i, i.e. bucket 0 is v==0, bucket 1 is v==1,
 // bucket 2 is 2..3, and so on up to the full int64 range.
@@ -134,6 +166,7 @@ func (h *Histogram) Max() int64 {
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
 
@@ -147,6 +180,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		spans:    map[string]*spanStat{},
 	}
@@ -186,6 +220,22 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the gauge registered under name, creating it on first
+// use. A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
 // Histogram returns the histogram registered under name, creating it on
 // first use. A nil registry returns a nil (no-op) histogram.
 func (r *Registry) Histogram(name string) *Histogram {
@@ -215,6 +265,7 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
 	r.hists = map[string]*Histogram{}
 	r.spans = map[string]*spanStat{}
 	r.spanEvents = nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -235,5 +236,43 @@ func TestTimed(t *testing.T) {
 	}
 	if snap := r.Snapshot(); len(snap.Spans) != 1 || snap.Spans[0].Name != "stage" {
 		t.Fatalf("Timed did not record a span: %+v", snap.Spans)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Add(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("gauge value = %d, want 3", g.Value())
+	}
+	g.Set(10)
+	if r.Gauge("depth") != g {
+		t.Fatal("Gauge must return the registered handle")
+	}
+	snap := r.Snapshot()
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Name != "depth" || snap.Gauges[0].Value != 10 {
+		t.Fatalf("gauge snapshot = %+v, want depth=10", snap.Gauges)
+	}
+	var buf bytes.Buffer
+	snap.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "depth") {
+		t.Fatalf("table missing gauge row:\n%s", buf.String())
+	}
+	r.Reset()
+	if len(r.Snapshot().Gauges) != 0 {
+		t.Fatal("Reset must drop gauges")
+	}
+
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge must be a no-op")
+	}
+	var nilR *Registry
+	if nilR.Gauge("x") != nil {
+		t.Fatal("nil registry must return nil gauge")
 	}
 }

@@ -15,12 +15,19 @@ import (
 // flag.
 type Snapshot struct {
 	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
 	Histograms []HistSnap    `json:"histograms"`
 	Spans      []SpanSnap    `json:"spans"`
 }
 
 // CounterSnap is one counter's snapshot row.
 type CounterSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnap is one gauge's snapshot row.
+type GaugeSnap struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }
@@ -74,6 +81,7 @@ func bucketBounds(i int) (lo, hi int64) {
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Counters:   []CounterSnap{},
+		Gauges:     []GaugeSnap{},
 		Histograms: []HistSnap{},
 		Spans:      []SpanSnap{},
 	}
@@ -84,6 +92,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	defer r.mu.Unlock()
 	for _, name := range sortedKeys(r.counters) {
 		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: r.counters[name].Value()})
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: r.gauges[name].Value()})
 	}
 	for _, name := range sortedKeys(r.hists) {
 		h := r.hists[name]
@@ -132,6 +143,13 @@ func (s *Snapshot) WriteTable(w io.Writer) {
 		fmt.Fprintln(tw, "counter\tvalue")
 		for _, c := range s.Counters {
 			fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "gauge\tvalue")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(tw, "%s\t%d\n", g.Name, g.Value)
 		}
 		fmt.Fprintln(tw)
 	}

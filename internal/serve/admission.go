@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"sync"
+
+	"encore/internal/obs"
+)
+
+// admission is the daemon's backpressure ledger: a global and a
+// per-tenant budget of in-flight trials. A campaign charges its full
+// trial count at submit time and returns it when its runner settles, so
+// the budget bounds scheduled work (memory for plans, records, and
+// ledger chunks scales with it), not instantaneous CPU — the workpool
+// already bounds that.
+type admission struct {
+	mu        sync.Mutex
+	max       int
+	tenantMax int
+	used      int
+	byTenant  map[string]int
+	gauge     *obs.Gauge // serve.inflight.trials
+}
+
+func newAdmission(max, tenantMax int, gauge *obs.Gauge) *admission {
+	return &admission{max: max, tenantMax: tenantMax, byTenant: map[string]int{}, gauge: gauge}
+}
+
+// tryAcquire charges n trials against both budgets, all or nothing.
+func (a *admission) tryAcquire(tenant string, n int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.used+n > a.max || a.byTenant[tenant]+n > a.tenantMax {
+		return false
+	}
+	a.used += n
+	a.byTenant[tenant] += n
+	a.gauge.Set(int64(a.used))
+	return true
+}
+
+// release returns n trials to both budgets.
+func (a *admission) release(tenant string, n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.used -= n
+	if a.byTenant[tenant] -= n; a.byTenant[tenant] <= 0 {
+		delete(a.byTenant, tenant)
+	}
+	a.gauge.Set(int64(a.used))
+}

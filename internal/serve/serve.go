@@ -1,0 +1,382 @@
+// Package serve implements encore-serve's campaign daemon: an HTTP/JSON
+// service that accepts concurrent fault-injection campaign requests
+// (workload or inline IR module, plus the γ/η/Pmin/Dmax/engine/seed
+// knobs), compiles them through the core.Analyze/Finalize split behind a
+// keyed core.SnapshotCache, schedules trials as sharded batches on the
+// shared internal/workpool, and streams each campaign's sfi.TrialRecord
+// JSONL ledger back incrementally over a chunked response.
+//
+// Determinism invariant: a served ledger is byte-identical to batch
+// `encore-sfi -trace` output for the same (workload, config, seed)
+// at any worker count or shard size — the daemon reuses
+// sfi.RunCampaign's incremental trial-order emission rather than
+// re-implementing campaign execution, so equality holds by construction
+// and is locked by the package tests and scripts/check.sh's cmp smoke.
+//
+// Multi-tenancy and backpressure: every request carries a tenant (the
+// X-Encore-Tenant header; empty means "default"), and admission charges
+// the campaign's trial count against a global and a per-tenant in-flight
+// budget. Exhausted budgets answer 429 with a Retry-After hint; a
+// draining server answers 503. See docs/API.md for the full endpoint
+// reference and DESIGN.md §13 for the architecture.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"encore/internal/core"
+	"encore/internal/interp"
+	"encore/internal/obs"
+	"encore/internal/sfi"
+)
+
+// Config parametrizes a Server. The zero value is usable: it serves the
+// default engine with a 4096-trial global budget shared by all tenants.
+type Config struct {
+	// MaxInFlightTrials is the global admission budget: the sum of the
+	// trial counts of every in-flight campaign may not exceed it. Zero
+	// selects 4096. A request larger than the budget can never be
+	// admitted and is rejected outright (400 too-large).
+	MaxInFlightTrials int
+	// TenantMaxInFlightTrials bounds one tenant's share of the budget.
+	// Zero (or a value above MaxInFlightTrials) selects the global
+	// budget, i.e. no per-tenant subdivision.
+	TenantMaxInFlightTrials int
+	// RetryAfter is the hint returned in 429/503 Retry-After headers.
+	// Zero selects one second.
+	RetryAfter time.Duration
+	// Workers is the default trial parallelism for campaigns that do not
+	// request their own; zero defers to sfi's ClampWorkers normalization
+	// (GOMAXPROCS, capped by the trial count).
+	Workers int
+	// Engine is the default interpreter engine for campaigns that do not
+	// name one. Ledgers are engine-invariant; this only moves throughput.
+	Engine interp.Engine
+	// Obs selects the metrics registry for the serve/campaign spans, the
+	// serve.campaigns.* admission counters, and the serve.inflight.*
+	// gauges. Nil selects obs.Default().
+	Obs *obs.Registry
+	// Gate, when non-nil, is called by each campaign's runner goroutine
+	// after admission and before compilation, with the campaign's
+	// cancelable context and ID. It is a test seam: a blocking Gate holds
+	// the campaign's budget without burning CPU, making quota, drain, and
+	// cancellation states deterministic to assert. Production servers
+	// leave it nil.
+	Gate func(ctx context.Context, id string)
+}
+
+// Server is the campaign daemon: an http.Handler exposing the campaign
+// lifecycle (submit/status/cancel/ledger/result), /metrics, and /healthz,
+// plus a Drain method for graceful shutdown. Create with NewServer.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *core.SnapshotCache
+	adm   *admission
+	mux   *http.ServeMux
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast when a campaign finishes (Drain waits)
+	draining  bool
+	nextID    int
+	inflight  int
+	campaigns map[string]*campaign
+}
+
+// NewServer returns a ready-to-serve daemon for cfg.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxInFlightTrials <= 0 {
+		cfg.MaxInFlightTrials = 4096
+	}
+	if cfg.TenantMaxInFlightTrials <= 0 || cfg.TenantMaxInFlightTrials > cfg.MaxInFlightTrials {
+		cfg.TenantMaxInFlightTrials = cfg.MaxInFlightTrials
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	reg := obs.Or(cfg.Obs)
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		cache:     core.NewSnapshotCache(),
+		adm:       newAdmission(cfg.MaxInFlightTrials, cfg.TenantMaxInFlightTrials, reg.Gauge("serve.inflight.trials")),
+		campaigns: map[string]*campaign{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/campaigns/{id}/ledger", s.handleLedger)
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler by dispatching to the v1 API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops admitting campaigns (new submits answer 503) and blocks
+// until every in-flight campaign finishes or ctx expires, returning
+// ctx's error in the latter case. In-flight trials always run to their
+// natural completion; Drain never cancels work.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.inflight > 0 && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	return ctx.Err()
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("serve.campaigns.submitted").Inc()
+	var req SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("decode request: %v", err), 0)
+		return
+	}
+	spec, err := req.normalize(s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error(), 0)
+		return
+	}
+	if spec.trials > s.cfg.TenantMaxInFlightTrials {
+		writeError(w, http.StatusBadRequest, "too-large",
+			fmt.Sprintf("campaign wants %d trials but the admission budget caps at %d; split the seed range across smaller campaigns",
+				spec.trials, s.cfg.TenantMaxInFlightTrials), 0)
+		return
+	}
+	tenant := tenantOf(r)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reg.Counter("serve.campaigns.rejected_draining").Inc()
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining; resubmit elsewhere", s.cfg.RetryAfter)
+		return
+	}
+	if !s.adm.tryAcquire(tenant, spec.trials) {
+		s.mu.Unlock()
+		s.reg.Counter("serve.campaigns.rejected_quota").Inc()
+		writeError(w, http.StatusTooManyRequests, "quota",
+			fmt.Sprintf("in-flight trial budget exhausted for tenant %q; retry later", tenant), s.cfg.RetryAfter)
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("c%06d", s.nextID)
+	c := newCampaign(id, tenant, spec)
+	s.campaigns[id] = c
+	s.inflight++
+	s.mu.Unlock()
+
+	s.reg.Counter("serve.campaigns.accepted").Inc()
+	s.reg.Gauge("serve.inflight.campaigns").Add(1)
+	go s.run(c)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(c.status())
+}
+
+// run executes one admitted campaign end to end and settles its state.
+// It owns the campaign's slice of the admission budget until it returns.
+func (s *Server) run(c *campaign) {
+	res, err := s.execute(c)
+	c.finishRun(res, err)
+	s.finish(c)
+}
+
+// execute compiles the campaign's source (through the shared snapshot
+// cache) and runs its trials, streaming the ledger into the campaign's
+// chunk buffer as the completed prefix grows.
+func (s *Server) execute(c *campaign) (*sfi.CampaignResult, error) {
+	sp := s.reg.Span("serve/campaign")
+	defer sp.End()
+	if s.cfg.Gate != nil {
+		s.cfg.Gate(c.ctx, c.id)
+	}
+	if err := c.ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	csp := sp.Child("compile")
+	snap, err := s.cache.Get(c.spec.source, c.spec.ccfg, func() (*core.Analysis, error) {
+		mod, _, err := c.spec.build()
+		if err != nil {
+			return nil, err
+		}
+		return core.Analyze(mod, c.spec.ccfg)
+	})
+	if err != nil {
+		csp.End()
+		return nil, err
+	}
+	mod, outs, err := c.spec.build()
+	if err != nil {
+		csp.End()
+		return nil, err
+	}
+	a, err := snap.Replay(mod)
+	if err != nil {
+		csp.End()
+		return nil, err
+	}
+	res, err := a.Finalize(c.spec.ccfg)
+	csp.End()
+	if err != nil {
+		return nil, err
+	}
+
+	tsp := sp.Child("trials")
+	defer tsp.End()
+	return sfi.RunCampaign(res.Mod, res.Metas, outs, sfi.CampaignConfig{
+		Trials: c.spec.trials, Seed: c.spec.seed, Dmax: c.spec.dmax, Bits: c.spec.bits,
+		Workers: c.spec.workers, Engine: c.spec.ccfg.Interp.Engine, Obs: s.reg,
+		App: c.spec.app, Regions: RegionTable(res, c.spec.dmax),
+		Trace: obs.NewJSONLSink(c),
+		Ctx:   c.ctx, ShardSize: c.spec.shard,
+	})
+}
+
+// finish returns the campaign's admission budget and settles the
+// server-side accounting once its runner is done.
+func (s *Server) finish(c *campaign) {
+	c.cancel() // release the context's resources; the run is over
+	s.adm.release(c.tenant, c.spec.trials)
+	s.reg.Gauge("serve.inflight.campaigns").Add(-1)
+	switch c.status().State {
+	case StateDone:
+		s.reg.Counter("serve.campaigns.completed").Inc()
+	case StateCanceled:
+		s.reg.Counter("serve.campaigns.canceled").Inc()
+	default:
+		s.reg.Counter("serve.campaigns.failed").Inc()
+	}
+	s.mu.Lock()
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// lookup resolves the request's {id} to a campaign or answers 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *campaign {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		writeError(w, http.StatusNotFound, "not-found", fmt.Sprintf("no campaign %q", id), 0)
+	}
+	return c
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		list = append(list, c)
+	}
+	s.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	out := struct {
+		Campaigns []CampaignStatus `json:"campaigns"`
+	}{Campaigns: make([]CampaignStatus, len(list))}
+	for i, c := range list {
+		out.Campaigns[i] = c.status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	c.cancel() // no-op after the run settles; cancel is idempotent
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.status())
+}
+
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	c.follow(r.Context(), w)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	st := c.status()
+	if st.State == StateRunning {
+		writeError(w, http.StatusConflict, "not-finished",
+			fmt.Sprintf("campaign %s is still running; poll status or stream the ledger", c.id), s.cfg.RetryAfter)
+		return
+	}
+	out := ResultResponse{CampaignStatus: st, Counts: map[string]int{}}
+	if res := c.campaignResult(); res != nil {
+		out.SameInstance = res.SameInstance
+		out.RecoveredRate = res.RecoveredRate()
+		for o := sfi.Outcome(0); o < sfi.Outcome(len(res.Counts)); o++ {
+			out.Counts[o.String()] = res.Counts[o]
+		}
+		if res.Meta != nil {
+			out.PredCoverage = res.Meta.PredCoverage
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.Snapshot().WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining", s.cfg.RetryAfter)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}

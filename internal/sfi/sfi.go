@@ -12,6 +12,7 @@
 package sfi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -127,7 +128,7 @@ func MeasureMasking(build func() (*ir.Module, []*ir.Global), cfg MaskingConfig) 
 		}
 	}
 	var mu sync.Mutex
-	runTrials(pool, len(plans), cfg.Workers, reg, cfg.Progress, func(w *interp.Machine, t int) {
+	runTrials(pool, len(plans), cfg.Workers, 0, nil, reg, cfg.Progress, func(w *interp.Machine, t int) {
 		w.Reset()
 		w.InjectFault(plans[t])
 		_, err := w.Run()
@@ -260,21 +261,38 @@ type CampaignConfig struct {
 	// (idempotence class at the injection site, α predictions in the
 	// header record). Optional; without it site regions carry no class.
 	Regions []RegionInfo
-	// Trace, when non-nil, receives one CampaignEnvelope followed by
-	// exactly Trials TrialEnvelope records in trial order after the
-	// campaign finishes — the stream is deterministic given Seed
-	// regardless of Workers. The trial loop itself only fills a
-	// preallocated slice, so tracing adds no per-trial allocation there.
+	// Trace, when non-nil, receives one CampaignEnvelope (after the
+	// golden run, before any trial) followed by exactly Trials
+	// TrialEnvelope records emitted incrementally in trial order as the
+	// completed prefix of the campaign grows — the stream is
+	// deterministic given Seed regardless of Workers or ShardSize, and
+	// its final bytes are identical to an end-of-campaign dump. The trial
+	// loop itself only fills a preallocated slice; emission happens on a
+	// separate lock so record IO never serializes the trial hot path.
 	Trace *obs.EventSink
 	// Ledger retains the per-trial records in CampaignResult.Records even
 	// when no Trace sink is attached (for in-process attribution).
 	Ledger bool
+
+	// Ctx, when non-nil, cancels the campaign cooperatively: once done,
+	// no further trial shards are scheduled (in-flight shards finish),
+	// no further ledger records are emitted, and RunCampaign returns the
+	// partial result together with ctx's error. A nil Ctx never cancels.
+	Ctx context.Context
+	// ShardSize is the number of consecutive trials handed to a worker
+	// per scheduling step (the workpool.Dispatch shard). Zero selects a
+	// heuristic balancing queue traffic against cancellation/streaming
+	// latency. Outcomes and the ledger are shard-size-invariant.
+	ShardSize int
 }
 
 // CampaignResult aggregates trial outcomes.
 type CampaignResult struct {
 	Trials int
-	Counts [numOutcomes]int
+	// Executed counts the trials that actually ran; it equals Trials
+	// unless the campaign's Ctx canceled it mid-flight.
+	Executed int
+	Counts   [numOutcomes]int
 
 	// SameInstance counts recovered trials whose rollback target was the
 	// very region instance the fault struck (the case the paper's α model
@@ -306,7 +324,10 @@ func (c *CampaignResult) RecoveredRate() float64 {
 // RunCampaign injects cfg.Trials output-corrupting faults into the
 // instrumented module, each with a uniform random site and a uniform
 // random detection latency in [0, Dmax], and classifies every run against
-// the golden checksum.
+// the golden checksum. Trials are scheduled as contiguous shards on a
+// bounded worker pool (workpool.Dispatch); a canceled cfg.Ctx stops
+// scheduling at shard granularity and RunCampaign returns the partial
+// result with the context's error.
 func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, cfg CampaignConfig) (*CampaignResult, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 200
@@ -352,26 +373,6 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 		for _, ri := range cfg.Regions {
 			classOf[ri.ID] = ri.Class
 		}
-	}
-	var mu sync.Mutex
-	runTrials(pool, len(plans), cfg.Workers, reg, cfg.Progress, func(w *interp.Machine, t int) {
-		w.Reset()
-		w.InjectFault(plans[t])
-		_, err := w.Run()
-		rep := w.FaultReport()
-		match := err == nil && w.Checksum(outs...) == golden
-		o := classify(rep, err, match)
-		mu.Lock()
-		defer mu.Unlock()
-		res.Counts[o]++
-		if o == Recovered && rep.SameInstance {
-			res.SameInstance++
-		}
-		if ledger {
-			res.Records[t] = makeRecord(t, plans[t], rep, o, err, total, w.Count, classOf)
-		}
-	})
-	if ledger {
 		meta := &CampaignMeta{
 			App: cfg.App, Trials: cfg.Trials, Seed: cfg.Seed,
 			Dmax: cfg.Dmax, Bits: cfg.Bits, GoldenInstrs: total,
@@ -383,18 +384,83 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 			}
 		}
 		res.Meta = meta
+		// The header depends only on the compile and the golden run, so
+		// it leads the stream; trial records then flow incrementally as
+		// the completed prefix grows (see emitDone below).
 		if cfg.Trace != nil {
 			cfg.Trace.Emit(CampaignEnvelope{Type: TraceCampaign, CampaignMeta: *meta})
-			for i := range res.Records {
-				cfg.Trace.Emit(TrialEnvelope{Type: TraceTrial, TrialRecord: res.Records[i]})
+		}
+	}
+	// Incremental trial-order emission: done[t] marks finished trials
+	// (guarded by mu with the counters); a worker that completes a trial
+	// then drains the contiguous done prefix into the sink under emitMu,
+	// so exactly one emitter runs at a time, records leave in trial
+	// order, and sink IO never blocks other workers' trial loops.
+	var (
+		mu     sync.Mutex
+		emitMu sync.Mutex
+		done   []bool
+		cursor int
+	)
+	if cfg.Trace != nil {
+		done = make([]bool, cfg.Trials)
+	}
+	emitDone := func() {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		for {
+			mu.Lock()
+			lo := cursor
+			hi := lo
+			for hi < len(done) && done[hi] {
+				hi++
+			}
+			cursor = hi
+			mu.Unlock()
+			if hi == lo {
+				return
+			}
+			for t := lo; t < hi; t++ {
+				cfg.Trace.Emit(TrialEnvelope{Type: TraceTrial, TrialRecord: res.Records[t]})
 			}
 		}
 	}
+	var cancel <-chan struct{}
+	if cfg.Ctx != nil {
+		cancel = cfg.Ctx.Done()
+	}
+	runTrials(pool, len(plans), cfg.Workers, cfg.ShardSize, cancel, reg, cfg.Progress, func(w *interp.Machine, t int) {
+		w.Reset()
+		w.InjectFault(plans[t])
+		_, err := w.Run()
+		rep := w.FaultReport()
+		match := err == nil && w.Checksum(outs...) == golden
+		o := classify(rep, err, match)
+		mu.Lock()
+		res.Executed++
+		res.Counts[o]++
+		if o == Recovered && rep.SameInstance {
+			res.SameInstance++
+		}
+		if ledger {
+			res.Records[t] = makeRecord(t, plans[t], rep, o, err, total, w.Count, classOf)
+		}
+		if done != nil {
+			done[t] = true
+		}
+		mu.Unlock()
+		if done != nil {
+			emitDone()
+		}
+	})
 	for o := Outcome(0); o < numOutcomes; o++ {
 		reg.Add("sfi.outcome."+o.String(), int64(res.Counts[o]))
 	}
-	reg.Add("sfi.trials", int64(res.Trials))
+	reg.Add("sfi.trials", int64(res.Executed))
 	reg.Add("sfi.recovered.same_instance", int64(res.SameInstance))
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return res, cfg.Ctx.Err()
+	}
 	return res, nil
 }
 
@@ -441,57 +507,55 @@ func EnvWorkers() int { return workpool.FromEnv() }
 // serial path instead of erroring or deadlocking.
 func ClampWorkers(workers, trials int) int { return workpool.Clamp(workers, trials) }
 
-// runTrials executes fn over trial indices on a bounded worker pool, each
-// worker leasing a private machine (machines are not goroutine-safe).
-// Trial plans are pre-derived, so results are identical to the serial
-// order. The worker count is normalized via ClampWorkers; a single worker
-// runs inline with no goroutine or channel overhead. Each worker's machine
-// reports into reg (folded at the Reset boundary between trials), its
-// end-of-run throughput lands in the "sfi.worker.trials_per_sec"
-// histogram, and prog (may be nil) is stepped once per completed trial.
-func runTrials(pool *machinePool, trials, workers int, reg *obs.Registry, prog *obs.Progress, fn func(w *interp.Machine, t int)) {
+// shardSize normalizes a requested trials-per-shard value: zero or
+// negative selects a heuristic that gives each worker several shards
+// (smoothing uneven trial costs and keeping cancellation/streaming
+// latency low) while bounding queue traffic, clamped to [1, 64].
+func shardSize(size, trials, workers int) int {
+	if size > 0 {
+		return size
+	}
+	size = trials / (workers * 8)
+	if size > 64 {
+		size = 64
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// runTrials executes fn over trial indices, scheduled as contiguous
+// shards (workpool.Dispatch) on a bounded worker pool, each worker
+// leasing a private machine (machines are not goroutine-safe). Trial
+// plans are pre-derived and results are collected positionally, so every
+// (workers, shard) shape is identical to the serial order. The worker
+// count is normalized via ClampWorkers; a single worker runs inline with
+// no goroutine or channel overhead. A closed cancel channel (may be nil)
+// stops scheduling at shard granularity. Each worker's machine reports
+// into reg (folded at the Reset boundary between trials), its end-of-run
+// throughput lands in the "sfi.worker.trials_per_sec" histogram, and
+// prog (may be nil) is stepped once per completed trial.
+func runTrials(pool *machinePool, trials, workers, shard int, cancel <-chan struct{}, reg *obs.Registry, prog *obs.Progress, fn func(w *interp.Machine, t int)) {
 	workers = ClampWorkers(workers, trials)
+	shard = shardSize(shard, trials, workers)
 	rate := reg.Histogram("sfi.worker.trials_per_sec")
-	runWorker := func(each func(func(t int))) {
+	workpool.Dispatch(trials, shard, workers, cancel, func(_ int, pull func() (workpool.Shard, bool)) {
 		w := pool.get()
 		w.AttachObs(reg)
 		start := time.Now()
 		n := 0
-		each(func(t int) {
-			fn(w, t)
-			prog.Step(1)
-			n++
-		})
+		for sh, ok := pull(); ok; sh, ok = pull() {
+			for t := sh.Lo; t < sh.Hi; t++ {
+				fn(w, t)
+				prog.Step(1)
+				n++
+			}
+		}
 		if el := time.Since(start).Seconds(); el > 0 && n > 0 {
 			rate.Observe(int64(float64(n) / el))
 		}
 		w.AttachObs(nil)
 		pool.put(w)
-	}
-	if workers == 1 {
-		runWorker(func(run func(t int)) {
-			for t := 0; t < trials; t++ {
-				run(t)
-			}
-		})
-		return
-	}
-	idx := make(chan int, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			runWorker(func(run func(t int)) {
-				for t := range idx {
-					run(t)
-				}
-			})
-		}()
-	}
-	for t := 0; t < trials; t++ {
-		idx <- t
-	}
-	close(idx)
-	wg.Wait()
+	})
 }

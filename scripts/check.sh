@@ -3,13 +3,16 @@
 # test suite, the race detector over the packages that run concurrent
 # machinery (the interpreter's shared closure-compiled programs, the obs
 # registry, the compiler's per-function analysis fan-out, the SFI trial
-# pool, and the experiments compile cache / worker pool), a short-budget
-# run of the generative fuzz oracles (internal/progen), plus command
-# smoke runs that exercise the observability flags end to end —
-# including a check that metrics counters are identical under
-# ENCORE_WORKERS=1 and the default pool, and that the closure execution
-# engine reproduces the fast engine's output bit for bit across the full
-# workload suite and the SFI trial ledger.
+# pool, the campaign daemon, and the experiments compile cache / worker
+# pool), a short-budget run of the generative fuzz oracles
+# (internal/progen), plus command smoke runs that exercise the
+# observability flags end to end — including a check that metrics
+# counters are identical under ENCORE_WORKERS=1 and the default pool,
+# that the closure execution engine reproduces the fast engine's output
+# bit for bit across the full workload suite and the SFI trial ledger,
+# and that the encore-serve daemon's streamed campaign ledger is
+# byte-identical to the batch encore-sfi -trace ledger for the same
+# (workload, config, seed).
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -27,7 +30,7 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> doclint (package comments + internal/obs godoc)"
+echo "==> doclint (package comments + obs/serve/trace/workpool godoc)"
 go run scripts/doclint.go
 
 echo "==> go build ./..."
@@ -36,8 +39,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen"
-go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen
+echo "==> go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen"
+go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen
 
 echo "==> fuzz smoke (generative oracles, ${FUZZTIME:-10s} per target)"
 make -s fuzz-smoke FUZZTIME="${FUZZTIME:-10s}"
@@ -49,6 +52,7 @@ echo "==> build command binaries"
 go build -o "$tmp/encore" ./cmd/encore
 go build -o "$tmp/encore-bench" ./cmd/encore-bench
 go build -o "$tmp/encore-sfi" ./cmd/encore-sfi
+go build -o "$tmp/encore-serve" ./cmd/encore-serve
 
 echo "==> flag surface (-h must document the observability flags)"
 "$tmp/encore" -h 2>&1 | grep -q -- '-metrics' || { echo "encore -h: missing -metrics" >&2; exit 1; }
@@ -65,6 +69,8 @@ echo "==> flag surface (-h must document the observability flags)"
 "$tmp/encore" -h 2>&1 | grep -q -- '-engine' || { echo "encore -h: missing -engine" >&2; exit 1; }
 "$tmp/encore-sfi" -h 2>&1 | grep -q -- '-engine' || { echo "encore-sfi -h: missing -engine" >&2; exit 1; }
 "$tmp/encore-bench" -h 2>&1 | grep -q -- '-engine' || { echo "encore-bench -h: missing -engine" >&2; exit 1; }
+"$tmp/encore-serve" -h 2>&1 | grep -q -- '-max-inflight' || { echo "encore-serve -h: missing -max-inflight" >&2; exit 1; }
+"$tmp/encore-serve" -h 2>&1 | grep -q -- '-drain-timeout' || { echo "encore-serve -h: missing -drain-timeout" >&2; exit 1; }
 
 echo "==> smoke: encore"
 "$tmp/encore" -app rawcaudio -metrics "$tmp/encore.json" > /dev/null
@@ -101,6 +107,39 @@ cmp -s "$tmp/report-fast.txt" "$tmp/report-closure.txt" || {
 echo "==> smoke: closure engine reproduces the SFI trial ledger byte for byte"
 "$tmp/encore-sfi" -app rawcaudio -trials 5 -engine closure -trace "$tmp/trace-closure.jsonl" > /dev/null
 cmp -s "$tmp/trace.jsonl" "$tmp/trace-closure.jsonl" || { echo "encore-sfi -engine closure: trial ledger differs from fast engine" >&2; exit 1; }
+
+echo "==> smoke: encore-serve served ledger == batch ledger"
+# Boot the daemon on an ephemeral port, submit the same campaign the
+# -trace smoke above ran in batch (rawcaudio, 5 trials, seed 1, dmax
+# 100), and cmp the streamed ledger against the batch bytes. Then check
+# /metrics and graceful SIGTERM drain.
+"$tmp/encore-serve" -addr 127.0.0.1:0 2> "$tmp/serve.log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's#.*listening on http://##p' "$tmp/serve.log" | head -1)
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "encore-serve: never reported a listen address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+cid=$(curl -sS -X POST "http://$addr/v1/campaigns" \
+	-H 'Content-Type: application/json' \
+	-d '{"workload":"rawcaudio","trials":5,"seed":1,"dmax":100}' \
+	| sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$cid" ] || { echo "encore-serve: submit returned no campaign id" >&2; exit 1; }
+curl -sS "http://$addr/v1/campaigns/$cid/ledger" > "$tmp/served.jsonl"
+cmp -s "$tmp/trace.jsonl" "$tmp/served.jsonl" || {
+	echo "encore-serve: served ledger differs from batch encore-sfi -trace:" >&2
+	diff "$tmp/trace.jsonl" "$tmp/served.jsonl" >&2 || true
+	exit 1
+}
+curl -sS "http://$addr/v1/campaigns/$cid" > "$tmp/serve-status.json"
+grep -q '"state":"done"' "$tmp/serve-status.json" || { echo "encore-serve: campaign did not settle done" >&2; exit 1; }
+curl -sS "http://$addr/metrics" > "$tmp/serve-metrics.json"
+grep -q '"serve.campaigns.completed"' "$tmp/serve-metrics.json" || { echo "encore-serve: /metrics missing serve counters" >&2; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "encore-serve: non-zero exit on SIGTERM drain" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+grep -q 'draining' "$tmp/serve.log" || { echo "encore-serve: no drain log line on SIGTERM" >&2; exit 1; }
 
 echo "==> smoke: encore-bench"
 "$tmp/encore-bench" -exp fig5 -apps rawcaudio,rawdaudio -quick -metrics "$tmp/bench.json" > /dev/null

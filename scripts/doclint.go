@@ -3,9 +3,11 @@
 // Command doclint enforces the repository's documentation floor:
 //
 //  1. every package under internal/ and cmd/ carries a package comment;
-//  2. every exported top-level declaration (and exported method) in
-//     internal/obs — the package whose conventions the other layers
-//     follow — carries a doc comment.
+//  2. every exported top-level declaration (and exported method) in the
+//     convention-setting packages (internal/obs, internal/serve,
+//     internal/trace, internal/workpool — the observability, service-API,
+//     and scheduling layers the rest of the tree builds on) carries a doc
+//     comment.
 //
 // It is wired into scripts/check.sh; run standalone with
 //
@@ -24,6 +26,15 @@ import (
 	"sort"
 	"strings"
 )
+
+// exportDocPkgs are the packages whose exported declarations must all
+// carry doc comments, not just a package comment.
+var exportDocPkgs = map[string]bool{
+	"internal/obs":      true,
+	"internal/serve":    true,
+	"internal/trace":    true,
+	"internal/workpool": true,
+}
 
 func main() {
 	var problems []string
@@ -46,7 +57,7 @@ func main() {
 			if !hasPackageComment(pkg) {
 				problems = append(problems, fmt.Sprintf("%s: package %s has no package comment", dir, name))
 			}
-			if filepath.ToSlash(dir) == "internal/obs" {
+			if exportDocPkgs[filepath.ToSlash(dir)] {
 				problems = append(problems, undocumentedExports(fset, pkg)...)
 			}
 		}
