@@ -17,6 +17,7 @@ import (
 	"encore/internal/experiments"
 	"encore/internal/interp"
 	"encore/internal/sfi"
+	"encore/internal/stats"
 	"encore/internal/workload"
 )
 
@@ -427,6 +428,53 @@ func BenchmarkSFITrialThroughput(b *testing.B) {
 				if _, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
 					Trials: trials, Seed: uint64(i + 1), Dmax: 100, Engine: engine,
 				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+// BenchmarkSFITrialThroughputStats measures the cost of attaching the
+// online per-region estimator (internal/stats) to a campaign. The two
+// sub-benchmarks run the identical campaign with and without a StatsSink;
+// the trials/s spread between them is the telemetry overhead, which the
+// PR 8 budget holds under 2% (see EXPERIMENTS.md).
+func BenchmarkSFITrialThroughputStats(b *testing.B) {
+	sp, err := workload.ByName("175.vpr")
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := sp.Build()
+	res, err := core.Compile(art.Mod, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var regions []sfi.RegionInfo
+	for _, rc := range res.RegionCoverages(100) {
+		regions = append(regions, sfi.RegionInfo{
+			ID: rc.ID, Fn: rc.Fn, Header: rc.Header, Class: rc.Class.String(),
+			Selected: rc.Selected, DynFrac: rc.DynFrac,
+			InstanceLen: rc.InstanceLen, Alpha: rc.Alpha,
+		})
+	}
+	const trials = 50
+	for _, withStats := range []bool{false, true} {
+		name := "nostats"
+		if withStats {
+			name = "stats"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sfi.CampaignConfig{
+					Trials: trials, Seed: uint64(i + 1), Dmax: 100,
+					Regions: regions,
+				}
+				if withStats {
+					cfg.Stats = stats.New()
+				}
+				if _, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

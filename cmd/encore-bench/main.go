@@ -5,7 +5,7 @@
 //	encore-bench [-exp fig1|table1|fig5|fig6|fig7a|fig7b|fig8|all]
 //	             [-apps a,b,c] [-quick] [-engine fast|ref|closure]
 //	             [-table1-app name] [-json file]
-//	             [-metrics file|-] [-chrometrace file|-]
+//	             [-metrics file|-] [-prom file|-] [-chrometrace file|-]
 //	             [-cpuprofile file] [-memprofile file]
 //
 // Each experiment prints the same rows/series as the corresponding paper
@@ -15,7 +15,8 @@
 // With -metrics, the process-wide observability snapshot (per-stage
 // compile spans, heuristic counters, interpreter and SFI totals; see
 // DESIGN.md §9) is written as JSON to the given file, or to stdout for
-// "-". The -json report embeds the same snapshot under "metrics".
+// "-"; -prom writes the same snapshot in the Prometheus text exposition
+// format. The -json report embeds the same snapshot under "metrics".
 // -chrometrace records per-experiment span timings and writes a
 // chrome://tracing JSON array to the given file. -cpuprofile and
 // -memprofile write pprof profiles of the run.
@@ -93,6 +94,7 @@ func runBench(argv []string, stdout io.Writer) error {
 		t1app      = fs.String("table1-app", "175.vpr", "workload for the Table 1 comparison")
 		jsonPath   = fs.String("json", "", "write a JSON report (wall-clock + results) to this file")
 		metrics    = fs.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
+		prom       = fs.String("prom", "", "write the observability snapshot in Prometheus text format to this file (- = stdout)")
 		chrome     = fs.String("chrometrace", "", "write a chrome://tracing span timeline to this file (- = stdout)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file")
@@ -209,6 +211,9 @@ func runBench(argv []string, stdout io.Writer) error {
 	}
 	if err := obs.WriteMetricsTo(*metrics, reg, stdout); err != nil {
 		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := obs.WritePrometheusFileTo(*prom, reg, stdout); err != nil {
+		return fmt.Errorf("prom: %w", err)
 	}
 	if err := obs.WriteChromeTraceFileTo(*chrome, reg, stdout); err != nil {
 		return fmt.Errorf("chrometrace: %w", err)

@@ -10,13 +10,17 @@
 //
 //	encore-serve [-addr host:port] [-max-inflight n] [-tenant-inflight n]
 //	             [-retry-after sec] [-workers n] [-engine fast|ref|closure]
-//	             [-drain-timeout dur]
+//	             [-drain-timeout dur] [-stats-every n]
+//	             [-log-requests] [-pprof]
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
 // (use -addr 127.0.0.1:0 for an ephemeral port) and serves the API
-// documented in docs/API.md. On SIGINT/SIGTERM it stops admitting
-// campaigns (new submits answer 503), waits up to -drain-timeout for
-// in-flight campaigns to finish, then exits.
+// documented in docs/API.md. Structured one-line JSON events (campaign
+// accepted/settled, plus per-request logs with -log-requests) go to
+// stderr; -pprof mounts net/http/pprof under /debug/pprof/. On
+// SIGINT/SIGTERM it stops admitting campaigns (new submits answer 503),
+// waits up to -drain-timeout for in-flight campaigns to finish, then
+// exits.
 package main
 
 import (
@@ -56,6 +60,9 @@ func runServe(argv []string, logw io.Writer, ready chan<- string) error {
 		workers      = fs.Int("workers", 0, "default trial parallelism per campaign (0 = GOMAXPROCS)")
 		engine       = fs.String("engine", "", "default execution engine: fast, ref, or closure")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns")
+		statsEvery   = fs.Int("stats-every", 0, "default stats-stream cadence in settled trials (0 = built-in default)")
+		logRequests  = fs.Bool("log-requests", false, "log one JSON line per HTTP request")
+		pprofFlag    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -71,6 +78,10 @@ func runServe(argv []string, logw io.Writer, ready chan<- string) error {
 		RetryAfter:              time.Duration(*retryAfter) * time.Second,
 		Workers:                 *workers,
 		Engine:                  eng,
+		StatsEvery:              *statsEvery,
+		Log:                     logw,
+		LogRequests:             *logRequests,
+		Pprof:                   *pprofFlag,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -8,13 +8,23 @@
 //
 //	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking]
 //	           [-workers n] [-engine fast|ref|closure] [-progress]
-//	           [-metrics file|-] [-trace file|-] [-chrometrace file|-]
+//	           [-metrics file|-] [-prom file|-] [-stats file|-]
+//	           [-trace file|-] [-chrometrace file|-]
 //	encore-sfi -report file|- [-json]
 //
 // -progress emits a rate-limited trial counter to stderr while a campaign
-// runs. -metrics writes the observability snapshot (compile spans, SFI
-// outcome counters, worker throughput; see DESIGN.md §9) as JSON to the
-// given file, or to stdout for "-".
+// runs; each line carries the worst-region confidence interval — the
+// widest Wilson-score half-width on any selected region's recovery rate
+// — so convergence is visible live. -metrics writes the observability
+// snapshot (compile spans, SFI outcome counters, worker throughput; see
+// DESIGN.md §9) as JSON to the given file, or to stdout for "-"; -prom
+// writes the same snapshot in Prometheus text exposition format.
+//
+// -stats writes the final online-estimator snapshot per campaign (one
+// JSON array element per app; see internal/stats and DESIGN.md §14):
+// per-region recovery rates with Wilson confidence intervals, streaming
+// latency/rollback moments, and the measured-vs-predicted coverage join.
+// The output is byte-identical across -workers and -engine choices.
 //
 // -trace streams the per-trial ledger (see DESIGN.md §10) as JSONL to the
 // given file: one campaign header line per app followed by one line per
@@ -45,6 +55,7 @@ import (
 	"encore/internal/obs"
 	"encore/internal/serve"
 	"encore/internal/sfi"
+	"encore/internal/stats"
 	"encore/internal/workload"
 )
 
@@ -74,6 +85,8 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		engine      = fs.String("engine", "", "trial execution engine: fast, ref, or closure (outcomes are engine-invariant)")
 		progress    = fs.Bool("progress", false, "report per-campaign trial progress on stderr")
 		metrics     = fs.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
+		prom        = fs.String("prom", "", "write the observability snapshot in Prometheus text format to this file (- = stdout)")
+		statsPath   = fs.String("stats", "", "write per-campaign online estimator snapshots as JSON to this file (- = stdout)")
 		tracePath   = fs.String("trace", "", "stream the per-trial JSONL ledger to this file (- = stdout)")
 		reportPath  = fs.String("report", "", "attribution mode: read a trace from this file (- = stdin) and report")
 		jsonOut     = fs.Bool("json", false, "with -report, emit the attribution report as JSON")
@@ -117,10 +130,18 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 	}
 
 	// The human-readable outcome table normally goes to stdout; when the
-	// JSONL ledger claims stdout (-trace -), the table moves to stderr so
-	// the trace stream stays machine-clean and byte-deterministic.
+	// JSONL ledger claims stdout (-trace -) or the stats snapshots do
+	// (-stats -), the table moves to stderr so the machine stream stays
+	// clean and byte-deterministic. Both claiming stdout at once would
+	// interleave two formats, so that combination is rejected.
+	if *tracePath == "-" && *statsPath == "-" {
+		return fmt.Errorf("-trace - and -stats - both claim stdout; write at least one to a file")
+	}
 	var sink *obs.EventSink
 	tableOut := stdout
+	if *statsPath == "-" {
+		tableOut = stderr
+	}
 	if *tracePath != "" {
 		if *tracePath == "-" {
 			sink = obs.NewJSONLSink(stdout)
@@ -137,6 +158,7 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 
 	tw := tabwriter.NewWriter(tableOut, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\trecovered\tbenign\tunrec\trec-wrong\tsdc\tcrash\tsame-inst\tmasked")
+	var snaps []*stats.Snapshot
 	ccfg := core.DefaultConfig()
 	ccfg.Interp.Engine = eng
 	for _, sp := range specs {
@@ -147,14 +169,35 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("%s: %w", sp.Name, err)
 		}
 		prog := newProgress(sp.Name+" campaign", *trials)
-		camp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
+		// The online estimator powers both the -stats snapshot and the
+		// progress line's convergence note; it is only attached when one
+		// of them wants it, so plain runs skip the per-trial bookkeeping.
+		var est *stats.Estimator
+		if *statsPath != "" || *progress {
+			est = stats.New()
+			prog.SetNote(func() string {
+				id, half := est.WorstCI()
+				if id < 0 {
+					return ""
+				}
+				return fmt.Sprintf("worst-ci r%d ±%.3f", id, half)
+			})
+		}
+		campCfg := sfi.CampaignConfig{
 			Trials: *trials, Seed: *seed, Dmax: *dmax, Workers: *workers,
 			Engine: eng, Obs: reg, Progress: prog,
 			App: sp.Name, Regions: serve.RegionTable(res, *dmax), Trace: sink,
-		})
+		}
+		if est != nil {
+			campCfg.Stats = est
+		}
+		camp, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, campCfg)
 		prog.Finish()
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.Name, err)
+		}
+		if est != nil && *statsPath != "" {
+			snaps = append(snaps, est.Snapshot())
 		}
 		maskStr := "-"
 		if *masking {
@@ -184,8 +227,16 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("trace: %w", err)
 		}
 	}
+	if *statsPath != "" {
+		if err := stats.WriteSnapshotsFile(*statsPath, snaps, stdout); err != nil {
+			return fmt.Errorf("stats: %w", err)
+		}
+	}
 	if err := obs.WriteMetricsTo(*metrics, reg, tableOut); err != nil {
 		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := obs.WritePrometheusFileTo(*prom, reg, tableOut); err != nil {
+		return fmt.Errorf("prom: %w", err)
 	}
 	if err := obs.WriteChromeTraceFileTo(*chrometrace, reg, tableOut); err != nil {
 		return fmt.Errorf("chrometrace: %w", err)

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"encore/internal/stats"
 )
 
 func TestNegativeDmaxRejected(t *testing.T) {
@@ -168,5 +170,68 @@ func TestChromeTraceFlag(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("no sfi/campaign complete event in %s", data)
+	}
+}
+
+// TestStatsFlagDeterministic locks the tentpole acceptance bar at the
+// command level: -stats output is byte-identical across -workers and
+// -engine, and parses back as estimator snapshots.
+func TestStatsFlagDeterministic(t *testing.T) {
+	run := func(extra ...string) string {
+		var out, errOut bytes.Buffer
+		args := append([]string{"-app", "rawcaudio", "-trials", "12", "-seed", "5", "-stats", "-"}, extra...)
+		if err := runSFI(args, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(errOut.String(), "recovered") {
+			t.Error("human table should have moved to stderr when -stats owns stdout")
+		}
+		return out.String()
+	}
+	want := run("-workers", "1")
+	for _, extra := range [][]string{
+		{"-workers", "4"},
+		{"-workers", "8"},
+		{"-workers", "4", "-engine", "closure"},
+	} {
+		if got := run(extra...); got != want {
+			t.Errorf("-stats output diverges under %v", extra)
+		}
+	}
+	snaps, err := stats.ReadSnapshots(strings.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].App != "rawcaudio" || snaps[0].Trials != 12 {
+		t.Fatalf("unexpected snapshots: %+v", snaps)
+	}
+}
+
+func TestStatsAndTraceBothOnStdoutRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := runSFI([]string{"-app", "rawcaudio", "-trials", "3", "-stats", "-", "-trace", "-"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "stdout") {
+		t.Fatalf("want a stdout-conflict error, got %v", err)
+	}
+}
+
+// TestPromFlag checks the -prom exposition contains the SFI counters.
+func TestPromFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	var out, errOut bytes.Buffer
+	if err := runSFI([]string{"-app", "rawcaudio", "-trials", "3", "-prom", path}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The command reports into the shared obs.Default() registry, so
+	// counter values accumulate across tests in one process — assert the
+	// family and a sample line exist, not an exact value.
+	for _, want := range []string{"# TYPE encore_sfi_trials counter", "\nencore_sfi_trials "} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("prom exposition missing %q:\n%s", want, data)
+		}
 	}
 }

@@ -5,14 +5,16 @@
 //
 //	encore [-app name] [-pmin p | -nopmin] [-gamma g] [-eta e]
 //	       [-budget b] [-alias static|optimistic] [-engine fast|ref|closure]
-//	       [-regions] [-ir] [-metrics file|-] [-chrometrace file|-]
+//	       [-regions] [-ir] [-metrics file|-] [-prom file|-]
+//	       [-chrometrace file|-]
 //
 // With no -app it reports a one-line summary for every benchmark.
 // -metrics writes the observability snapshot of the compiles (per-stage
 // spans, region-heuristic and interpreter counters; see DESIGN.md §9) as
-// JSON to the given file, or to stdout for "-". -chrometrace records the
-// compile-stage span timeline and writes a chrome://tracing JSON array to
-// the given file.
+// JSON to the given file, or to stdout for "-"; -prom writes the same
+// snapshot in the Prometheus text exposition format. -chrometrace records
+// the compile-stage span timeline and writes a chrome://tracing JSON
+// array to the given file.
 package main
 
 import (
@@ -48,6 +50,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the per-app report as JSON")
 		traceN    = flag.Int64("trace", 0, "print the first N executed instructions of the instrumented binary")
 		metrics   = flag.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
+		prom      = flag.String("prom", "", "write the observability snapshot in Prometheus text format to this file (- = stdout)")
 		chrome    = flag.String("chrometrace", "", "write a chrome://tracing span timeline to this file (- = stdout)")
 	)
 	flag.Parse()
@@ -167,6 +170,10 @@ func main() {
 	}
 	if err := obs.WriteMetrics(*metrics, obs.Default()); err != nil {
 		fmt.Fprintln(os.Stderr, "encore: metrics:", err)
+		os.Exit(1)
+	}
+	if err := obs.WritePrometheusFile(*prom, obs.Default()); err != nil {
+		fmt.Fprintln(os.Stderr, "encore: prom:", err)
 		os.Exit(1)
 	}
 	if err := obs.WriteChromeTraceFile(*chrome, obs.Default()); err != nil {

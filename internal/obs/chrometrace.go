@@ -53,9 +53,12 @@ type chromeEvent struct {
 	Cat  string `json:"cat"`
 	Ph   string `json:"ph"`
 	TS   int64  `json:"ts"`
-	Dur  int64  `json:"dur"`
+	Dur  int64  `json:"dur,omitempty"`
 	PID  int    `json:"pid"`
 	TID  int    `json:"tid"`
+	// Args carries a counter event's ("C" phase) series values; complete
+	// events ("X") leave it empty.
+	Args map[string]int64 `json:"args,omitempty"`
 }
 
 // WriteChromeTrace renders the registry's captured span events as a
@@ -65,7 +68,10 @@ type chromeEvent struct {
 // separate tid lanes greedily by start time, so the visual nesting
 // matches the real span hierarchy. The event's cat is the first path
 // segment ("compile", "sfi", "bench"), so categories can be filtered in
-// the viewer.
+// the viewer. The registry's counters and gauges are appended as "C"
+// counter-phase events at the trace's end timestamp, so the final metric
+// values show up as counter tracks alongside the span timeline instead
+// of being dropped from this sink.
 func WriteChromeTrace(w io.Writer, r *Registry) error {
 	events := r.SpanEvents()
 	sort.SliceStable(events, func(i, j int) bool {
@@ -113,6 +119,28 @@ func WriteChromeTrace(w io.Writer, r *Registry) error {
 			TS:  e.Start.Sub(origin).Microseconds(),
 			Dur: e.Dur.Microseconds(),
 			PID: 1, TID: lane + 1,
+		})
+	}
+	// Counter tracks: every counter and gauge value as one "C" event at
+	// the end of the timeline (the snapshot is a point-in-time view, so
+	// one sample per series is what the registry can honestly report).
+	endTS := int64(0)
+	for _, e := range events {
+		if ts := e.Start.Sub(origin).Microseconds() + e.Dur.Microseconds(); ts > endTS {
+			endTS = ts
+		}
+	}
+	snap := r.Snapshot()
+	for _, c := range snap.Counters {
+		out = append(out, chromeEvent{
+			Name: c.Name, Cat: "counter", Ph: "C", TS: endTS, PID: 1,
+			Args: map[string]int64{"value": c.Value},
+		})
+	}
+	for _, g := range snap.Gauges {
+		out = append(out, chromeEvent{
+			Name: g.Name, Cat: "gauge", Ph: "C", TS: endTS, PID: 1,
+			Args: map[string]int64{"value": g.Value},
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -22,6 +22,7 @@ type Progress struct {
 	last  time.Time
 	every time.Duration
 	lines int64
+	note  func() string
 }
 
 // DefaultProgressInterval is the emission rate limit used when
@@ -56,6 +57,21 @@ func (p *Progress) Step(n int) {
 	p.emit(now)
 }
 
+// SetNote attaches a callback whose result is appended to every emitted
+// progress line (e.g. the worst-region confidence-interval half-width of
+// a running campaign). The callback runs under the rate limit — once per
+// emitted line, not per Step — and outside any caller lock it needs; an
+// empty result adds nothing. A nil f clears the note; a nil *Progress
+// no-ops.
+func (p *Progress) SetNote(f func() string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.note = f
+}
+
 // Finish emits the final progress line (always, regardless of the rate
 // limit) so campaigns end with an accurate count.
 func (p *Progress) Finish() {
@@ -85,11 +101,17 @@ func (p *Progress) emit(now time.Time) {
 	if elapsed > 0 {
 		rate = float64(p.done) / elapsed
 	}
+	note := ""
+	if p.note != nil {
+		if s := p.note(); s != "" {
+			note = " " + s
+		}
+	}
 	if p.total > 0 {
-		fmt.Fprintf(p.w, "%s: %d/%d (%.1f%%) %.0f/s\n",
-			p.label, p.done, p.total, 100*float64(p.done)/float64(p.total), rate)
+		fmt.Fprintf(p.w, "%s: %d/%d (%.1f%%) %.0f/s%s\n",
+			p.label, p.done, p.total, 100*float64(p.done)/float64(p.total), rate, note)
 	} else {
-		fmt.Fprintf(p.w, "%s: %d %.0f/s\n", p.label, p.done, rate)
+		fmt.Fprintf(p.w, "%s: %d %.0f/s%s\n", p.label, p.done, rate, note)
 	}
 	p.lines++
 }

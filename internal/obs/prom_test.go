@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sfi.trials":        "encore_sfi_trials",
+		"compile/analyze":   "encore_compile_analyze",
+		"serve.queue-depth": "encore_serve_queue_depth",
+		"plain":             "encore_plain",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	if got := promLabel("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Fatalf("promLabel = %q", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Add("sfi.trials", 42)
+	r.Gauge("serve.inflight").Set(3)
+	h := r.Histogram("lat")
+	h.Observe(1) // bucket le="1"
+	h.Observe(1)
+	h.Observe(5) // bucket le="7"
+	sp := r.Span("sfi/campaign")
+	sp.End()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE encore_sfi_trials counter",
+		"encore_sfi_trials 42",
+		"# TYPE encore_serve_inflight gauge",
+		"encore_serve_inflight 3",
+		"# TYPE encore_lat histogram",
+		`encore_lat_bucket{le="1"} 2`,
+		`encore_lat_bucket{le="7"} 3`,
+		`encore_lat_bucket{le="+Inf"} 3`,
+		"encore_lat_sum 7",
+		"encore_lat_count 3",
+		"# TYPE encore_span_count counter",
+		`encore_span_count{span="sfi/campaign"} 1`,
+		`encore_span_total_ms{span="sfi/campaign"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestWritePrometheusFileTo(t *testing.T) {
+	r := NewRegistry()
+	r.Add("c", 1)
+	var buf bytes.Buffer
+	if err := WritePrometheusFileTo("-", r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "encore_c 1") {
+		t.Fatalf("stdout exposition missing counter:\n%s", buf.String())
+	}
+	if err := WritePrometheusFileTo("", r, nil); err != nil {
+		t.Fatalf("empty path must be a no-op, got %v", err)
+	}
+}
+
+// TestChromeTraceCounterEvents locks the satellite fix: counters and
+// gauges render as "C" counter-phase events in the chrome trace sink
+// (previously this sink silently dropped them).
+func TestChromeTraceCounterEvents(t *testing.T) {
+	r := NewRegistry()
+	r.CaptureSpans(true)
+	sp := r.Span("sfi/campaign")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.Add("sfi.trials", 9)
+	r.Gauge("serve.inflight").Set(2)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Name string           `json:"name"`
+		Cat  string           `json:"cat"`
+		Ph   string           `json:"ph"`
+		TS   int64            `json:"ts"`
+		Args map[string]int64 `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not a JSON array: %v\n%s", err, buf.String())
+	}
+	byName := map[string]int{}
+	spanEnd := int64(0)
+	for i, e := range out {
+		byName[e.Ph+":"+e.Name] = i
+		if e.Ph == "X" {
+			if end := e.TS; end > spanEnd {
+				spanEnd = end
+			}
+		}
+	}
+	ci, ok := byName["C:sfi.trials"]
+	if !ok {
+		t.Fatalf("no counter event for sfi.trials in %s", buf.String())
+	}
+	if out[ci].Cat != "counter" || out[ci].Args["value"] != 9 {
+		t.Fatalf("counter event wrong: %+v", out[ci])
+	}
+	gi, ok := byName["C:serve.inflight"]
+	if !ok {
+		t.Fatalf("no counter event for gauge serve.inflight in %s", buf.String())
+	}
+	if out[gi].Cat != "gauge" || out[gi].Args["value"] != 2 {
+		t.Fatalf("gauge event wrong: %+v", out[gi])
+	}
+	if out[ci].TS < spanEnd {
+		t.Fatalf("counter events must sit at the trace end: ts %d < last span ts %d", out[ci].TS, spanEnd)
+	}
+}
+
+func TestProgressNote(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "campaign", 10, time.Nanosecond)
+	p.SetNote(func() string { return "worst-ci r3 ±0.210" })
+	time.Sleep(time.Millisecond)
+	p.Step(5)
+	p.Finish()
+	if !strings.Contains(buf.String(), "worst-ci r3 ±0.210") {
+		t.Fatalf("note missing from progress output: %q", buf.String())
+	}
+	// A nil note and a nil Progress both no-op.
+	p.SetNote(nil)
+	p.Finish()
+	var nilP *Progress
+	nilP.SetNote(func() string { return "x" })
+}

@@ -2,12 +2,15 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"encore/internal/sfi"
+	"encore/internal/stats"
 )
 
 // Campaign lifecycle states, as reported by the status and result
@@ -34,11 +37,18 @@ const (
 // of ledger followers replay the chunks concurrently, waking on the cond
 // as the completed prefix grows.
 type campaign struct {
-	id     string
-	tenant string
-	spec   campaignSpec
-	ctx    context.Context
-	cancel context.CancelFunc
+	id      string
+	tenant  string
+	spec    campaignSpec
+	ctx     context.Context
+	cancel  context.CancelFunc
+	started time.Time
+	// est is the campaign's online estimator: sfi.RunCampaign feeds it
+	// every trial record in ledger order (before the record's trace chunk
+	// is written), so the stats endpoints can snapshot per-region
+	// convergence at any point and the final snapshot agrees exactly with
+	// post-hoc attribution.
+	est *stats.Estimator
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -51,7 +61,10 @@ type campaign struct {
 
 func newCampaign(id, tenant string, spec campaignSpec) *campaign {
 	ctx, cancel := context.WithCancel(context.Background())
-	c := &campaign{id: id, tenant: tenant, spec: spec, ctx: ctx, cancel: cancel, state: StateRunning}
+	c := &campaign{
+		id: id, tenant: tenant, spec: spec, ctx: ctx, cancel: cancel,
+		started: time.Now(), est: stats.New(), state: StateRunning,
+	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -151,6 +164,62 @@ func (c *campaign) follow(ctx context.Context, w io.Writer) {
 			flusher.Flush()
 		}
 		if (closed && len(burst) == 0) || ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// followStats streams estimator snapshots to w as NDJSON: one snapshot
+// immediately, then one each time at least every further trials have
+// settled, then a final snapshot when the campaign settles (deduplicated
+// if nothing changed since the last emission). Followers wake on the
+// campaign cond — the same broadcast the ledger chunks ring — and the
+// estimator is updated before each ledger chunk lands, so a woken
+// follower always sees at least the trial whose chunk woke it. Only the
+// final snapshot is held to the cross-shape byte-identity guarantee;
+// intermediate ones sample live progress at whatever trial count they
+// catch. Returns when the campaign settles or ctx is canceled.
+func (c *campaign) followStats(ctx context.Context, w io.Writer, every int) {
+	if every <= 0 {
+		every = DefaultStatsStreamEvery
+	}
+	flusher, _ := w.(http.Flusher)
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	enc := json.NewEncoder(w)
+	last := -1
+	emit := func() bool {
+		snap := c.est.Snapshot()
+		if snap.Trials == last {
+			return true // nothing settled since the previous snapshot
+		}
+		last = snap.Trials
+		if err := enc.Encode(snap); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit() {
+		return
+	}
+	for {
+		c.mu.Lock()
+		for ctx.Err() == nil && !c.closed && c.est.Trials() < last+every {
+			c.cond.Wait()
+		}
+		closed := c.closed
+		c.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+		if !emit() || closed {
 			return
 		}
 	}

@@ -25,8 +25,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -35,6 +38,11 @@ import (
 	"encore/internal/obs"
 	"encore/internal/sfi"
 )
+
+// DefaultStatsStreamEvery is the stats-stream snapshot cadence when
+// neither the request's ?every query parameter nor Config.StatsEvery
+// names one: a snapshot per this many settled trials.
+const DefaultStatsStreamEvery = 32
 
 // Config parametrizes a Server. The zero value is usable: it serves the
 // default engine with a 4096-trial global budget shared by all tenants.
@@ -62,6 +70,25 @@ type Config struct {
 	// serve.campaigns.* admission counters, and the serve.inflight.*
 	// gauges. Nil selects obs.Default().
 	Obs *obs.Registry
+	// StatsEvery is the default stats-stream snapshot cadence (one
+	// snapshot per StatsEvery settled trials); zero selects
+	// DefaultStatsStreamEvery. Requests override it with ?every=N.
+	StatsEvery int
+	// Log, when non-nil, receives structured JSONL event logs: one line
+	// per accepted campaign (campaign_accepted), one per settled campaign
+	// (campaign_settled, carrying the trial count, outcome histogram, and
+	// wall time), and — with LogRequests — one per HTTP request. Lines
+	// are written whole under a lock, so a shared writer never
+	// interleaves.
+	Log io.Writer
+	// LogRequests additionally logs every HTTP request (method, path,
+	// status, duration, tenant) to Log. Off by default because streaming
+	// followers make request logs chatty.
+	LogRequests bool
+	// Pprof mounts net/http/pprof's profile handlers under /debug/pprof/
+	// on the daemon mux. Off by default: profiles expose internals and
+	// cost CPU, so production deployments opt in.
+	Pprof bool
 	// Gate, when non-nil, is called by each campaign's runner goroutine
 	// after admission and before compilation, with the campaign's
 	// cancelable context and ID. It is a test seam: a blocking Gate holds
@@ -80,6 +107,7 @@ type Server struct {
 	cache *core.SnapshotCache
 	adm   *admission
 	mux   *http.ServeMux
+	log   *logger
 
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast when a campaign finishes (Drain waits)
@@ -100,12 +128,16 @@ func NewServer(cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.StatsEvery <= 0 {
+		cfg.StatsEvery = DefaultStatsStreamEvery
+	}
 	reg := obs.Or(cfg.Obs)
 	s := &Server{
 		cfg:       cfg,
 		reg:       reg,
 		cache:     core.NewSnapshotCache(),
 		adm:       newAdmission(cfg.MaxInFlightTrials, cfg.TenantMaxInFlightTrials, reg.Gauge("serve.inflight.trials")),
+		log:       newLogger(cfg.Log),
 		campaigns: map[string]*campaign{},
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -116,15 +148,95 @@ func NewServer(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /v1/campaigns/{id}/ledger", s.handleLedger)
 	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/campaigns/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/campaigns/{id}/stats/stream", s.handleStatsStream)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP implements http.Handler by dispatching to the v1 API routes.
+// ServeHTTP implements http.Handler by dispatching to the v1 API routes,
+// with per-request structured logging when Config.LogRequests is set.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	if !s.cfg.LogRequests || s.log == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.log.event("request", map[string]any{
+		"method": r.Method, "path": r.URL.Path, "status": sw.code,
+		"dur_ms": float64(time.Since(start).Microseconds()) / 1000,
+		"tenant": tenantOf(r),
+	})
+}
+
+// statusWriter records the response status for request logs while
+// passing Flush through so streaming endpoints keep working under the
+// logging wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status code.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush implements http.Flusher by delegating when the wrapped writer
+// supports it, so chunked ledger/stats streams flush incrementally.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// logger serializes structured JSONL event logs: one JSON object per
+// line, written whole under a mutex so concurrent handlers never
+// interleave. A nil logger (no Config.Log) no-ops.
+type logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func newLogger(w io.Writer) *logger {
+	if w == nil {
+		return nil
+	}
+	return &logger{w: w}
+}
+
+// event writes one log line: {"ts":..., "event":..., ...fields}.
+func (l *logger) event(event string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	line := map[string]any{
+		"ts":    time.Now().UTC().Format(time.RFC3339Nano),
+		"event": event,
+	}
+	for k, v := range fields {
+		line[k] = v
+	}
+	raw, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	raw = append(raw, '\n')
+	l.mu.Lock()
+	l.w.Write(raw)
+	l.mu.Unlock()
 }
 
 // Drain stops admitting campaigns (new submits answer 503) and blocks
@@ -193,6 +305,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	s.reg.Counter("serve.campaigns.accepted").Inc()
 	s.reg.Gauge("serve.inflight.campaigns").Add(1)
+	s.log.event("campaign_accepted", map[string]any{
+		"campaign": id, "tenant": tenant, "app": spec.app,
+		"trials": spec.trials, "seed": spec.seed, "dmax": spec.dmax,
+		"engine": spec.ccfg.Interp.Engine.String(),
+	})
 	go s.run(c)
 
 	w.Header().Set("Content-Type", "application/json")
@@ -256,6 +373,7 @@ func (s *Server) execute(c *campaign) (*sfi.CampaignResult, error) {
 		Workers: c.spec.workers, Engine: c.spec.ccfg.Interp.Engine, Obs: s.reg,
 		App: c.spec.app, Regions: RegionTable(res, c.spec.dmax),
 		Trace: obs.NewJSONLSink(c),
+		Stats: c.est,
 		Ctx:   c.ctx, ShardSize: c.spec.shard,
 	})
 }
@@ -266,7 +384,8 @@ func (s *Server) finish(c *campaign) {
 	c.cancel() // release the context's resources; the run is over
 	s.adm.release(c.tenant, c.spec.trials)
 	s.reg.Gauge("serve.inflight.campaigns").Add(-1)
-	switch c.status().State {
+	st := c.status()
+	switch st.State {
 	case StateDone:
 		s.reg.Counter("serve.campaigns.completed").Inc()
 	case StateCanceled:
@@ -274,6 +393,18 @@ func (s *Server) finish(c *campaign) {
 	default:
 		s.reg.Counter("serve.campaigns.failed").Inc()
 	}
+	// One-line settle summary: id, tenant, state, trial counts, outcome
+	// histogram, and wall time — completion is loggable, not poll-only.
+	outcomes := map[string]int{}
+	for _, oc := range c.est.Snapshot().Outcomes {
+		outcomes[oc.Outcome] = oc.Count
+	}
+	s.log.event("campaign_settled", map[string]any{
+		"campaign": c.id, "tenant": c.tenant, "app": c.spec.app,
+		"state": st.State, "trials": c.spec.trials, "executed": st.Executed,
+		"outcomes": outcomes,
+		"wall_ms":  float64(time.Since(c.started).Microseconds()) / 1000,
+	})
 	s.mu.Lock()
 	s.inflight--
 	s.cond.Broadcast()
@@ -364,7 +495,40 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(out)
 }
 
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(c.est.Snapshot())
+}
+
+func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	every := s.cfg.StatsEvery
+	if v := r.URL.Query().Get("every"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, "bad-request",
+				fmt.Sprintf("every=%q: want a positive trial count", v), 0)
+			return
+		}
+		every = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	c.followStats(r.Context(), w, every)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.Snapshot().WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	s.reg.Snapshot().WriteJSON(w)
 }

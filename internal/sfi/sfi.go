@@ -230,6 +230,24 @@ func (o *Outcome) UnmarshalText(text []byte) error {
 	return fmt.Errorf("sfi: unknown outcome %q", name)
 }
 
+// StatsSink receives a campaign's header and trial records in ledger
+// order for online aggregation (internal/stats implements it). The
+// contract mirrors the Trace stream: ObserveCampaign is called once
+// after the golden run and before any trial, then ObserveTrial is
+// called exactly once per executed trial in strictly increasing trial
+// order, regardless of Workers, ShardSize, or Engine — so any
+// deterministic accumulator fed through a StatsSink is bit-identical
+// across those knobs. When both a Trace sink and a StatsSink are
+// attached, each record reaches the StatsSink before its trace line is
+// emitted (a reader of the trace never observes a record the stats have
+// not folded yet).
+type StatsSink interface {
+	// ObserveCampaign delivers the campaign header.
+	ObserveCampaign(meta CampaignMeta)
+	// ObserveTrial delivers one trial record, in trial order.
+	ObserveTrial(rec TrialRecord)
+}
+
 // CampaignConfig parametrizes an end-to-end injection campaign against an
 // instrumented module.
 type CampaignConfig struct {
@@ -273,6 +291,11 @@ type CampaignConfig struct {
 	// Ledger retains the per-trial records in CampaignResult.Records even
 	// when no Trace sink is attached (for in-process attribution).
 	Ledger bool
+	// Stats, when non-nil, receives the campaign header and then every
+	// trial record in trial order (see StatsSink). Attaching a sink does
+	// not change trial outcomes, the Records slice, or the Trace stream's
+	// bytes — it only adds the ordered delivery.
+	Stats StatsSink
 
 	// Ctx, when non-nil, cancels the campaign cooperatively: once done,
 	// no further trial shards are scheduled (in-flight shards finish),
@@ -365,7 +388,7 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	// Trial ledger: records are filled by trial index (not completion
 	// order) into a preallocated slice, so the emitted stream is
 	// deterministic given the seed regardless of worker interleaving.
-	ledger := cfg.Trace != nil || cfg.Ledger
+	ledger := cfg.Trace != nil || cfg.Ledger || cfg.Stats != nil
 	var classOf map[int]string
 	if ledger {
 		res.Records = make([]TrialRecord, cfg.Trials)
@@ -386,23 +409,31 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 		res.Meta = meta
 		// The header depends only on the compile and the golden run, so
 		// it leads the stream; trial records then flow incrementally as
-		// the completed prefix grows (see emitDone below).
+		// the completed prefix grows (see emitDone below). Stats see it
+		// first so a snapshot taken between header and first trial
+		// already carries the prediction table.
+		if cfg.Stats != nil {
+			cfg.Stats.ObserveCampaign(*meta)
+		}
 		if cfg.Trace != nil {
 			cfg.Trace.Emit(CampaignEnvelope{Type: TraceCampaign, CampaignMeta: *meta})
 		}
 	}
 	// Incremental trial-order emission: done[t] marks finished trials
 	// (guarded by mu with the counters); a worker that completes a trial
-	// then drains the contiguous done prefix into the sink under emitMu,
+	// then drains the contiguous done prefix into the sinks under emitMu,
 	// so exactly one emitter runs at a time, records leave in trial
-	// order, and sink IO never blocks other workers' trial loops.
+	// order, and sink IO never blocks other workers' trial loops. The
+	// same drain feeds the StatsSink (before the trace line, per the
+	// StatsSink contract), which is what makes online estimators
+	// bit-identical across worker/shard/engine shapes.
 	var (
 		mu     sync.Mutex
 		emitMu sync.Mutex
 		done   []bool
 		cursor int
 	)
-	if cfg.Trace != nil {
+	if cfg.Trace != nil || cfg.Stats != nil {
 		done = make([]bool, cfg.Trials)
 	}
 	emitDone := func() {
@@ -421,7 +452,12 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 				return
 			}
 			for t := lo; t < hi; t++ {
-				cfg.Trace.Emit(TrialEnvelope{Type: TraceTrial, TrialRecord: res.Records[t]})
+				if cfg.Stats != nil {
+					cfg.Stats.ObserveTrial(res.Records[t])
+				}
+				if cfg.Trace != nil {
+					cfg.Trace.Emit(TrialEnvelope{Type: TraceTrial, TrialRecord: res.Records[t]})
+				}
 			}
 		}
 	}

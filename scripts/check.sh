@@ -12,7 +12,10 @@
 # bit for bit across the full workload suite and the SFI trial ledger,
 # and that the encore-serve daemon's streamed campaign ledger is
 # byte-identical to the batch encore-sfi -trace ledger for the same
-# (workload, config, seed).
+# (workload, config, seed). The telemetry smokes additionally check that
+# encore-sfi -stats output is byte-identical across worker counts and
+# engines, and that the Prometheus expositions (CLI -prom and the
+# daemon's /metrics?format=prom) pass scripts/promlint.go.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -30,7 +33,7 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> doclint (package comments + obs/serve/trace/workpool godoc)"
+echo "==> doclint (package comments + obs/serve/stats/trace/workpool godoc)"
 go run scripts/doclint.go
 
 echo "==> go build ./..."
@@ -39,8 +42,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen"
-go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/progen
+echo "==> go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/stats ./internal/progen"
+go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/stats ./internal/progen
 
 echo "==> fuzz smoke (generative oracles, ${FUZZTIME:-10s} per target)"
 make -s fuzz-smoke FUZZTIME="${FUZZTIME:-10s}"
@@ -71,6 +74,13 @@ echo "==> flag surface (-h must document the observability flags)"
 "$tmp/encore-bench" -h 2>&1 | grep -q -- '-engine' || { echo "encore-bench -h: missing -engine" >&2; exit 1; }
 "$tmp/encore-serve" -h 2>&1 | grep -q -- '-max-inflight' || { echo "encore-serve -h: missing -max-inflight" >&2; exit 1; }
 "$tmp/encore-serve" -h 2>&1 | grep -q -- '-drain-timeout' || { echo "encore-serve -h: missing -drain-timeout" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-stats' || { echo "encore-sfi -h: missing -stats" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-prom' || { echo "encore-sfi -h: missing -prom" >&2; exit 1; }
+"$tmp/encore" -h 2>&1 | grep -q -- '-prom' || { echo "encore -h: missing -prom" >&2; exit 1; }
+"$tmp/encore-bench" -h 2>&1 | grep -q -- '-prom' || { echo "encore-bench -h: missing -prom" >&2; exit 1; }
+"$tmp/encore-serve" -h 2>&1 | grep -q -- '-pprof' || { echo "encore-serve -h: missing -pprof" >&2; exit 1; }
+"$tmp/encore-serve" -h 2>&1 | grep -q -- '-log-requests' || { echo "encore-serve -h: missing -log-requests" >&2; exit 1; }
+"$tmp/encore-serve" -h 2>&1 | grep -q -- '-stats-every' || { echo "encore-serve -h: missing -stats-every" >&2; exit 1; }
 
 echo "==> smoke: encore"
 "$tmp/encore" -app rawcaudio -metrics "$tmp/encore.json" > /dev/null
@@ -108,6 +118,22 @@ echo "==> smoke: closure engine reproduces the SFI trial ledger byte for byte"
 "$tmp/encore-sfi" -app rawcaudio -trials 5 -engine closure -trace "$tmp/trace-closure.jsonl" > /dev/null
 cmp -s "$tmp/trace.jsonl" "$tmp/trace-closure.jsonl" || { echo "encore-sfi -engine closure: trial ledger differs from fast engine" >&2; exit 1; }
 
+echo "==> smoke: encore-sfi -stats byte-identical across workers and engines"
+# The online estimator snapshot must not depend on trial parallelism or
+# the execution engine — only on the (workload, config, seed) prefix.
+"$tmp/encore-sfi" -app rawcaudio -trials 12 -workers 1 -stats "$tmp/stats-w1.json" > /dev/null
+"$tmp/encore-sfi" -app rawcaudio -trials 12 -workers 4 -stats "$tmp/stats-w4.json" > /dev/null
+"$tmp/encore-sfi" -app rawcaudio -trials 12 -workers 4 -engine closure -stats "$tmp/stats-closure.json" > /dev/null
+cmp -s "$tmp/stats-w1.json" "$tmp/stats-w4.json" || { echo "encore-sfi -stats: differs between -workers 1 and 4" >&2; exit 1; }
+cmp -s "$tmp/stats-w1.json" "$tmp/stats-closure.json" || { echo "encore-sfi -stats: differs between fast and closure engines" >&2; exit 1; }
+grep -q '"worst_ci_half_width"' "$tmp/stats-w1.json" || { echo "encore-sfi -stats: no worst_ci_half_width field" >&2; exit 1; }
+
+echo "==> smoke: Prometheus exposition passes promlint"
+"$tmp/encore-sfi" -app rawcaudio -trials 5 -prom "$tmp/sfi.prom" > /dev/null
+go run scripts/promlint.go "$tmp/sfi.prom" || { echo "encore-sfi -prom: promlint failed" >&2; exit 1; }
+"$tmp/encore" -app rawcaudio -prom "$tmp/encore.prom" > /dev/null
+go run scripts/promlint.go "$tmp/encore.prom" || { echo "encore -prom: promlint failed" >&2; exit 1; }
+
 echo "==> smoke: encore-serve served ledger == batch ledger"
 # Boot the daemon on an ephemeral port, submit the same campaign the
 # -trace smoke above ran in batch (rawcaudio, 5 trials, seed 1, dmax
@@ -137,9 +163,16 @@ curl -sS "http://$addr/v1/campaigns/$cid" > "$tmp/serve-status.json"
 grep -q '"state":"done"' "$tmp/serve-status.json" || { echo "encore-serve: campaign did not settle done" >&2; exit 1; }
 curl -sS "http://$addr/metrics" > "$tmp/serve-metrics.json"
 grep -q '"serve.campaigns.completed"' "$tmp/serve-metrics.json" || { echo "encore-serve: /metrics missing serve counters" >&2; exit 1; }
+curl -sS "http://$addr/v1/campaigns/$cid/stats" > "$tmp/serve-stats.json"
+grep -q '"regions"' "$tmp/serve-stats.json" || { echo "encore-serve: /stats missing regions array" >&2; exit 1; }
+grep -q '"trials":5' "$tmp/serve-stats.json" || { echo "encore-serve: /stats trials != 5" >&2; exit 1; }
+curl -sS "http://$addr/metrics?format=prom" > "$tmp/serve.prom"
+grep -q '^# TYPE encore_serve_campaigns_accepted counter' "$tmp/serve.prom" || { echo "encore-serve: prom exposition missing serve counters" >&2; exit 1; }
+go run scripts/promlint.go "$tmp/serve.prom" || { echo "encore-serve: /metrics?format=prom failed promlint" >&2; exit 1; }
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "encore-serve: non-zero exit on SIGTERM drain" >&2; cat "$tmp/serve.log" >&2; exit 1; }
 grep -q 'draining' "$tmp/serve.log" || { echo "encore-serve: no drain log line on SIGTERM" >&2; exit 1; }
+grep -q '"event":"campaign_settled"' "$tmp/serve.log" || { echo "encore-serve: no campaign_settled summary line" >&2; exit 1; }
 
 echo "==> smoke: encore-bench"
 "$tmp/encore-bench" -exp fig5 -apps rawcaudio,rawdaudio -quick -metrics "$tmp/bench.json" > /dev/null

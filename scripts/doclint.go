@@ -32,6 +32,7 @@ import (
 var exportDocPkgs = map[string]bool{
 	"internal/obs":      true,
 	"internal/serve":    true,
+	"internal/stats":    true,
 	"internal/trace":    true,
 	"internal/workpool": true,
 }

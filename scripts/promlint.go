@@ -1,0 +1,223 @@
+//go:build ignore
+
+// promlint validates a Prometheus text-exposition (version 0.0.4)
+// stream read from stdin or from the files named on the command line.
+// It is deliberately small — a smoke-level structural check used by
+// check.sh against `/metrics?format=prom` and the CLI -prom flag, not a
+// full reimplementation of the Prometheus parser. It enforces:
+//
+//   - every non-blank line is a "# TYPE", "# HELP", or sample line;
+//   - TYPE lines name a known metric type (counter, gauge, histogram,
+//     summary, untyped) and appear before the family's first sample;
+//   - sample lines parse as name[{labels}] value, with a legal metric
+//     name and a float value;
+//   - histogram families have cumulative, non-decreasing _bucket series
+//     ending in le="+Inf", and the +Inf count equals the _count sample.
+//
+// Exit status 0 means the stream passed; 1 means at least one problem
+// was printed; 2 means an I/O failure.
+//
+// Usage: go run scripts/promlint.go [file ...]   (no files = stdin)
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	typeLine = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	helpLine = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) `)
+	// sampleLine splits "name{labels} value" or "name value"; the label
+	// body is validated separately because values may contain escaped
+	// quotes and braces.
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})? (\S+)$`)
+	labelPair  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// histState tracks one histogram family's bucket ladder as its samples
+// stream by, so cumulativity and the +Inf/_count agreement can be
+// checked at the end.
+type histState struct {
+	lastLe    float64
+	lastCount float64
+	infCount  float64
+	hasInf    bool
+	count     float64
+	hasCount  bool
+}
+
+func lint(name string, r io.Reader) []string {
+	var problems []string
+	bad := func(ln int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%s:%d: %s", name, ln, fmt.Sprintf(format, args...)))
+	}
+	types := map[string]string{} // family -> declared type
+	sampled := map[string]bool{} // family -> has emitted a sample
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := typeLine.FindStringSubmatch(line); m != nil {
+				if sampled[m[1]] {
+					bad(ln, "TYPE for %s after its first sample", m[1])
+				}
+				if _, dup := types[m[1]]; dup {
+					bad(ln, "duplicate TYPE for %s", m[1])
+				}
+				types[m[1]] = m[2]
+				continue
+			}
+			if helpLine.MatchString(line) {
+				continue
+			}
+			bad(ln, "malformed comment line %q (want \"# TYPE name type\" or \"# HELP name text\")", line)
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			bad(ln, "malformed sample line %q", line)
+			continue
+		}
+		sample, labels, valstr := m[1], m[2], m[3]
+		val, err := strconv.ParseFloat(valstr, 64)
+		if err != nil {
+			bad(ln, "%s: bad value %q", sample, valstr)
+			continue
+		}
+		le, hasLe := math.NaN(), false
+		if labels != "" {
+			for _, pair := range splitLabels(labels[1 : len(labels)-1]) {
+				lm := labelPair.FindStringSubmatch(pair)
+				if lm == nil {
+					bad(ln, "%s: malformed label pair %q", sample, pair)
+					continue
+				}
+				if lm[1] == "le" {
+					hasLe = true
+					if lm[2] == "+Inf" {
+						le = math.Inf(1)
+					} else if le, err = strconv.ParseFloat(lm[2], 64); err != nil {
+						bad(ln, "%s: bad le bound %q", sample, lm[2])
+					}
+				}
+			}
+		}
+		// Resolve the family: histogram samples use _bucket/_sum/_count
+		// suffixes on the declared name.
+		family := sample
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(sample, suf)
+			if base != sample && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := types[family]; !ok {
+			bad(ln, "sample %s has no preceding TYPE line", sample)
+		}
+		sampled[family] = true
+		if types[family] == "histogram" {
+			h := hists[family]
+			if h == nil {
+				h = &histState{lastLe: math.Inf(-1), lastCount: -1}
+				hists[family] = h
+			}
+			switch {
+			case strings.HasSuffix(sample, "_bucket"):
+				if !hasLe {
+					bad(ln, "%s: histogram bucket without le label", sample)
+					break
+				}
+				if le <= h.lastLe {
+					bad(ln, "%s: bucket bounds not increasing (le=%g after %g)", sample, le, h.lastLe)
+				}
+				if val < h.lastCount {
+					bad(ln, "%s: bucket counts not cumulative (%g after %g)", sample, val, h.lastCount)
+				}
+				h.lastLe, h.lastCount = le, val
+				if math.IsInf(le, 1) {
+					h.hasInf, h.infCount = true, val
+				}
+			case strings.HasSuffix(sample, "_count"):
+				h.count, h.hasCount = val, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		bad(ln, "read: %v", err)
+	}
+	for fam, h := range hists {
+		if !h.hasInf {
+			problems = append(problems, fmt.Sprintf("%s: histogram %s has no le=\"+Inf\" bucket", name, fam))
+		}
+		if h.hasInf && h.hasCount && h.infCount != h.count {
+			problems = append(problems, fmt.Sprintf("%s: histogram %s +Inf bucket %g != _count %g", name, fam, h.infCount, h.count))
+		}
+	}
+	return problems
+}
+
+// splitLabels splits a label body on commas that are outside quoted
+// values (quotes may contain escaped characters).
+func splitLabels(body string) []string {
+	var out []string
+	depth := false // inside a quoted value
+	esc := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\':
+			esc = true
+		case c == '"':
+			depth = !depth
+		case c == ',' && !depth:
+			out = append(out, body[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+func main() {
+	var problems []string
+	if len(os.Args) < 2 {
+		problems = lint("<stdin>", os.Stdin)
+	} else {
+		for _, path := range os.Args[1:] {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "promlint:", err)
+				os.Exit(2)
+			}
+			problems = append(problems, lint(path, f)...)
+			f.Close()
+		}
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "promlint:", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+}
