@@ -87,7 +87,7 @@ func main() {
 func runBench(argv []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("encore-bench", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, engines, served, all")
+		exp        = fs.String("exp", "all", "experiment: fig1, table1, fig5, fig6, fig7a, fig7b, fig8, abl-eta, abl-budget, abl-signature, abl-detector, abl-input, engines, served, sharded, all")
 		apps       = fs.String("apps", "", "comma-separated benchmark subset")
 		quick      = fs.Bool("quick", false, "reduced Monte-Carlo trials")
 		engine     = fs.String("engine", "", "execution engine for measurement runs: fast, ref, or closure (results are engine-invariant)")
@@ -154,6 +154,8 @@ func runBench(argv []string, stdout io.Writer) error {
 			return h.Engines("")
 		case "served":
 			return h.Served("")
+		case "sharded":
+			return h.Sharded("")
 		}
 		return nil, fmt.Errorf("unknown experiment %q", name)
 	}
@@ -162,7 +164,7 @@ func runBench(argv []string, stdout io.Writer) error {
 	if *exp == "all" {
 		names = []string{"fig1", "table1", "fig5", "fig6", "fig7a", "fig7b", "fig8",
 			"abl-eta", "abl-budget", "abl-signature", "abl-detector", "abl-input",
-			"engines", "served"}
+			"engines", "served", "sharded"}
 	}
 	reg := obs.Default()
 	if *chrome != "" {

@@ -10,7 +10,7 @@
 //
 //	encore-serve [-addr host:port] [-max-inflight n] [-tenant-inflight n]
 //	             [-retry-after sec] [-workers n] [-engine fast|ref|closure]
-//	             [-drain-timeout dur] [-stats-every n]
+//	             [-drain-timeout dur] [-stats-every n] [-adaptive-ci w]
 //	             [-log-requests] [-pprof]
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
@@ -61,6 +61,7 @@ func runServe(argv []string, logw io.Writer, ready chan<- string) error {
 		engine       = fs.String("engine", "", "default execution engine: fast, ref, or closure")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns")
 		statsEvery   = fs.Int("stats-every", 0, "default stats-stream cadence in settled trials (0 = built-in default)")
+		adaptiveCI   = fs.Float64("adaptive-ci", 0, "default Wilson half-width target for adaptive campaigns (0 = sfi default; never enables adaptive by itself)")
 		logRequests  = fs.Bool("log-requests", false, "log one JSON line per HTTP request")
 		pprofFlag    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
@@ -71,6 +72,9 @@ func runServe(argv []string, logw io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	if *adaptiveCI < 0 {
+		return fmt.Errorf("-adaptive-ci %g is negative: the target is a Wilson half-width", *adaptiveCI)
+	}
 
 	srv := serve.NewServer(serve.Config{
 		MaxInFlightTrials:       *maxInflight,
@@ -79,6 +83,7 @@ func runServe(argv []string, logw io.Writer, ready chan<- string) error {
 		Workers:                 *workers,
 		Engine:                  eng,
 		StatsEvery:              *statsEvery,
+		AdaptiveCI:              *adaptiveCI,
 		Log:                     logw,
 		LogRequests:             *logRequests,
 		Pprof:                   *pprofFlag,

@@ -8,9 +8,12 @@
 //
 //	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking]
 //	           [-workers n] [-engine fast|ref|closure] [-progress]
+//	           [-shard i/K] [-adaptive] [-adaptive-ci w] [-adaptive-round n]
+//	           [-reuse trace.jsonl]
 //	           [-metrics file|-] [-prom file|-] [-stats file|-]
 //	           [-trace file|-] [-chrometrace file|-]
 //	encore-sfi -report file|- [-json]
+//	encore-sfi -merge [-trace file|-] [-stats file|-] shard1.jsonl shard2.jsonl …
 //
 // -progress emits a rate-limited trial counter to stderr while a campaign
 // runs; each line carries the worst-region confidence interval — the
@@ -32,15 +35,37 @@
 // ledger goes to stdout and the human outcome table moves to stderr so
 // the stream stays machine-clean.
 //
+// -shard i/K executes only shard i of a K-way deterministic partition of
+// the trial space (sfi.Partition): plans are still derived for the whole
+// campaign, so the shard's ledger lines are byte-identical to the
+// corresponding lines of a single-process run, and K shard ledgers merge
+// back (-merge) into exactly the single-process ledger.
+//
+// -adaptive enables variance-aware early stopping (sfi.Stopper): trials
+// aimed at regions whose recovery-rate Wilson interval has converged
+// below the target half-width (-adaptive-ci, default 0.05) are skipped
+// at deterministic round boundaries (-adaptive-round, 0 = heuristic).
+// -reuse seeds the stopper with a prior campaign's per-region tallies
+// keyed by region content hash, so a re-run over an edited module
+// re-injects only regions whose code changed.
+//
 // -report switches to attribution mode: instead of injecting, it ingests
 // a trace file ("-" = stdin) and prints per-region measured-vs-predicted
 // coverage tables (or a JSON report with -json).
+//
+// -merge switches to merge mode: the positional arguments name per-shard
+// JSONL ledgers (from -shard runs of the same campaign), merged in trial
+// order to the -trace destination (default stdout) byte-identically to
+// the single-process ledger; -stats additionally replays the merged
+// records through the online estimator and writes the snapshot, again
+// byte-identical to a single-process -stats run.
 //
 // -chrometrace records span timings and writes a chrome://tracing JSON
 // array to the given file on exit.
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -90,6 +115,12 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		tracePath   = fs.String("trace", "", "stream the per-trial JSONL ledger to this file (- = stdout)")
 		reportPath  = fs.String("report", "", "attribution mode: read a trace from this file (- = stdin) and report")
 		jsonOut     = fs.Bool("json", false, "with -report, emit the attribution report as JSON")
+		shardSpec   = fs.String("shard", "", "run only shard i/K of the deterministic trial partition (e.g. 2/3)")
+		mergeMode   = fs.Bool("merge", false, "merge mode: merge per-shard ledgers (positional args) to -trace, optional -stats replay")
+		adaptive    = fs.Bool("adaptive", false, "enable variance-aware adaptive stopping (skip trials on converged regions)")
+		adaptiveCI  = fs.Float64("adaptive-ci", 0, "adaptive stopping Wilson half-width target (0 = default; implies -adaptive)")
+		adaptiveRnd = fs.Int("adaptive-round", 0, "adaptive stopping round size in trials (0 = heuristic; implies -adaptive)")
+		reusePath   = fs.String("reuse", "", "with -adaptive, seed stopping tallies from this prior trace ledger (content-hash keyed)")
 		chrometrace = fs.String("chrometrace", "", "write a chrome://tracing span timeline to this file (- = stdout)")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -104,7 +135,54 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 	}
 
 	if *reportPath != "" {
+		if *mergeMode {
+			return fmt.Errorf("-merge and -report are mutually exclusive modes")
+		}
 		return runReport(*reportPath, *jsonOut, stdout)
+	}
+	if *mergeMode {
+		return runMerge(fs.Args(), *tracePath, *statsPath, stdout)
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q (positional ledger files are only read in -merge mode)", fs.Args())
+	}
+
+	shardIdx, shardCnt, err := sfi.ParseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+	if *adaptiveCI < 0 {
+		return fmt.Errorf("-adaptive-ci %g is negative: the target is a Wilson half-width", *adaptiveCI)
+	}
+	if *adaptiveRnd < 0 {
+		return fmt.Errorf("-adaptive-round %d is negative", *adaptiveRnd)
+	}
+	var stop *sfi.Stopper
+	if *adaptive || *adaptiveCI > 0 || *adaptiveRnd > 0 {
+		stop = &sfi.Stopper{TargetCI: *adaptiveCI, Round: *adaptiveRnd}
+	}
+	if shardCnt > 0 && stop != nil {
+		return fmt.Errorf("-shard and -adaptive cannot be combined: adaptive stopping decides from the global record stream")
+	}
+	if *reusePath != "" && stop == nil {
+		return fmt.Errorf("-reuse requires -adaptive: prior tallies only seed the adaptive stopper")
+	}
+	// Prior campaign tallies for compositional reuse, keyed by app so one
+	// multi-campaign ledger can seed a multi-app run.
+	priors := map[string][]sfi.PriorRegion{}
+	if *reusePath != "" {
+		f, err := os.Open(*reusePath)
+		if err != nil {
+			return fmt.Errorf("reuse: %w", err)
+		}
+		campaigns, err := attrib.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reuse: %w", err)
+		}
+		for _, c := range campaigns {
+			priors[c.Meta.App] = attrib.PriorRegions(c)
+		}
 	}
 
 	reg := obs.Default()
@@ -156,9 +234,21 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// The shard geometry depends only on (seed, trials, K), which are
+	// campaign-global, so one Partition call covers every app.
+	var shard *sfi.ShardRange
+	if shardCnt > 0 {
+		shards, err := sfi.Partition(*seed, *trials, shardCnt)
+		if err != nil {
+			return err
+		}
+		shard = &shards[shardIdx-1]
+	}
+
 	tw := tabwriter.NewWriter(tableOut, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "app\trecovered\tbenign\tunrec\trec-wrong\tsdc\tcrash\tsame-inst\tmasked")
 	var snaps []*stats.Snapshot
+	var adaptiveNotes []string
 	ccfg := core.DefaultConfig()
 	ccfg.Interp.Engine = eng
 	for _, sp := range specs {
@@ -168,7 +258,11 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.Name, err)
 		}
-		prog := newProgress(sp.Name+" campaign", *trials)
+		progTotal := *trials
+		if shard != nil {
+			progTotal = shard.Hi - shard.Lo
+		}
+		prog := newProgress(sp.Name+" campaign", progTotal)
 		// The online estimator powers both the -stats snapshot and the
 		// progress line's convergence note; it is only attached when one
 		// of them wants it, so plain runs skip the per-trial bookkeeping.
@@ -187,6 +281,7 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 			Trials: *trials, Seed: *seed, Dmax: *dmax, Workers: *workers,
 			Engine: eng, Obs: reg, Progress: prog,
 			App: sp.Name, Regions: serve.RegionTable(res, *dmax), Trace: sink,
+			Shard: shard, Stop: stop, Prior: priors[sp.Name],
 		}
 		if est != nil {
 			campCfg.Stats = est
@@ -195,6 +290,11 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		prog.Finish()
 		if err != nil {
 			return fmt.Errorf("%s: %w", sp.Name, err)
+		}
+		if stop != nil {
+			adaptiveNotes = append(adaptiveNotes, fmt.Sprintf(
+				"adaptive %s: executed %d/%d trials, skipped %d, mispredicted %d",
+				sp.Name, camp.Executed, *trials, camp.Skipped, camp.Mispredicted))
 		}
 		if est != nil && *statsPath != "" {
 			snaps = append(snaps, est.Snapshot())
@@ -222,6 +322,9 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 			camp.SameInstance, maskStr)
 	}
 	tw.Flush()
+	for _, note := range adaptiveNotes {
+		fmt.Fprintln(tableOut, note)
+	}
 	if sink != nil {
 		if err := sink.Err(); err != nil {
 			return fmt.Errorf("trace: %w", err)
@@ -240,6 +343,58 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 	}
 	if err := obs.WriteChromeTraceFileTo(*chrometrace, reg, tableOut); err != nil {
 		return fmt.Errorf("chrometrace: %w", err)
+	}
+	return nil
+}
+
+// runMerge merges per-shard JSONL ledgers (in any argument order) into
+// one campaign trace on the -trace destination, and with -stats replays
+// the merged records through the online estimator so the snapshot is
+// byte-identical to a single-process -stats run.
+func runMerge(files []string, tracePath, statsPath string, stdout io.Writer) error {
+	if len(files) == 0 {
+		return fmt.Errorf("merge: no shard ledgers given (pass them as positional arguments)")
+	}
+	if (tracePath == "" || tracePath == "-") && statsPath == "-" {
+		return fmt.Errorf("merge: the merged ledger and -stats - both claim stdout; write at least one to a file")
+	}
+	readers := make([]io.Reader, 0, len(files))
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	var buf bytes.Buffer
+	if err := attrib.MergeTraces(&buf, readers...); err != nil {
+		return err
+	}
+	out := stdout
+	if tracePath != "" && tracePath != "-" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if _, err := out.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	if statsPath != "" {
+		campaigns, err := attrib.ReadTrace(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return fmt.Errorf("merge: %w", err)
+		}
+		snaps := make([]*stats.Snapshot, len(campaigns))
+		for i, c := range campaigns {
+			snaps[i] = stats.Replay(c.Meta, c.Records).Snapshot()
+		}
+		if err := stats.WriteSnapshotsFile(statsPath, snaps, stdout); err != nil {
+			return fmt.Errorf("merge: stats: %w", err)
+		}
 	}
 	return nil
 }

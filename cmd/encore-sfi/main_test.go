@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -233,5 +234,165 @@ func TestPromFlag(t *testing.T) {
 		if !strings.Contains(string(data), want) {
 			t.Errorf("prom exposition missing %q:\n%s", want, data)
 		}
+	}
+}
+
+// TestShardFlagValidation covers the -shard rejection surface: the
+// index must land inside [1, K], both parts must parse, and the flag is
+// incompatible with -adaptive.
+func TestShardFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		want string
+	}{
+		{"3/2", "shard"},
+		{"0/0", "shard"},
+		{"0/3", "shard"},
+		{"-1/3", "shard"},
+		{"1/-3", "shard"},
+		{"a/b", "shard"},
+		{"1", "shard"},
+	} {
+		var out, errOut bytes.Buffer
+		err := runSFI([]string{"-app", "rawcaudio", "-trials", "6", "-shard", tc.spec}, &out, &errOut)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("-shard %s: want a shard error, got %v", tc.spec, err)
+		}
+	}
+	var out, errOut bytes.Buffer
+	err := runSFI([]string{"-app", "rawcaudio", "-trials", "6", "-shard", "1/2", "-adaptive"}, &out, &errOut)
+	if err == nil || !strings.Contains(err.Error(), "adaptive") {
+		t.Fatalf("-shard with -adaptive: %v", err)
+	}
+	if err := runSFI([]string{"-app", "rawcaudio", "-trials", "6", "stray.jsonl"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "unexpected arguments") {
+		t.Fatalf("stray positional args: %v", err)
+	}
+}
+
+// TestMergeModeByteIdentical is the end-to-end acceptance check at the
+// command level: three -shard runs, merged with -merge in permuted
+// order, must reproduce the single-process -trace and -stats output
+// byte for byte.
+func TestMergeModeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	single := filepath.Join(dir, "single.jsonl")
+	singleStats := filepath.Join(dir, "single.stats")
+	if err := runSFI([]string{"-app", "rawcaudio", "-trials", "30", "-seed", "4",
+		"-trace", single, "-stats", singleStats}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]string, 3)
+	for i := range shards {
+		shards[i] = filepath.Join(dir, fmt.Sprintf("s%d.jsonl", i+1))
+		if err := runSFI([]string{"-app", "rawcaudio", "-trials", "30", "-seed", "4",
+			"-shard", fmt.Sprintf("%d/3", i+1), "-trace", shards[i]}, &out, &errOut); err != nil {
+			t.Fatalf("shard %d: %v", i+1, err)
+		}
+	}
+	merged := filepath.Join(dir, "merged.jsonl")
+	mergedStats := filepath.Join(dir, "merged.stats")
+	if err := runSFI([]string{"-merge", "-trace", merged, "-stats", mergedStats,
+		shards[2], shards[0], shards[1]}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{single, merged}, {singleStats, mergedStats}} {
+		want, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s and %s differ", pair[0], pair[1])
+		}
+	}
+}
+
+// TestMergeModeErrors covers the merge-mode rejection surface.
+func TestMergeModeErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runSFI([]string{"-merge"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "no shard ledgers") {
+		t.Errorf("merge without files: %v", err)
+	}
+	if err := runSFI([]string{"-merge", "-report", "x.jsonl", "a.jsonl"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("merge with report: %v", err)
+	}
+	if err := runSFI([]string{"-merge", "-stats", "-", "a.jsonl"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "stdout") {
+		t.Errorf("merge ledger and stats both on stdout: %v", err)
+	}
+	if err := runSFI([]string{"-merge", "-trace", filepath.Join(t.TempDir(), "out.jsonl"),
+		filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errOut); err == nil {
+		t.Error("merge with a missing shard file must error")
+	}
+}
+
+// TestAdaptiveFlagDeterministic: the -adaptive ledger must be
+// byte-identical across -workers and -engine, skip a meaningful share
+// of the trial space, and -reuse of that ledger must skip even more.
+func TestAdaptiveFlagDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	run := func(path string, extra ...string) string {
+		var out, errOut bytes.Buffer
+		args := append([]string{"-app", "g721encode", "-trials", "300", "-seed", "7",
+			"-adaptive", "-adaptive-ci", "0.12", "-trace", path}, extra...)
+		if err := runSFI(args, &out, &errOut); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a := filepath.Join(dir, "a.jsonl")
+	tbl := run(a, "-workers", "1")
+	if !strings.Contains(tbl, "adaptive g721encode: executed") {
+		t.Errorf("no adaptive summary line in table output:\n%s", tbl)
+	}
+	b := filepath.Join(dir, "b.jsonl")
+	run(b, "-workers", "5", "-engine", "ref")
+	wantBytes, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Error("adaptive ledger differs across -workers/-engine")
+	}
+
+	var out, errOut bytes.Buffer
+	if err := runSFI([]string{"-app", "g721encode", "-trials", "300", "-seed", "7",
+		"-adaptive", "-adaptive-ci", "0.12", "-reuse", a}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "skipped 300") {
+		t.Errorf("reusing a converged ledger should skip every trial:\n%s", out.String())
+	}
+}
+
+// TestAdaptiveFlagErrors covers the adaptive flag rejection surface.
+func TestAdaptiveFlagErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runSFI([]string{"-app", "rawcaudio", "-trials", "6", "-adaptive-ci", "-0.1"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative -adaptive-ci: %v", err)
+	}
+	if err := runSFI([]string{"-app", "rawcaudio", "-trials", "6", "-adaptive-round", "-2"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "negative") {
+		t.Errorf("negative -adaptive-round: %v", err)
+	}
+	if err := runSFI([]string{"-app", "rawcaudio", "-trials", "6", "-reuse", "x.jsonl"}, &out, &errOut); err == nil ||
+		!strings.Contains(err.Error(), "-adaptive") {
+		t.Errorf("-reuse without -adaptive: %v", err)
+	}
+	if err := runSFI([]string{"-app", "rawcaudio", "-trials", "6", "-adaptive",
+		"-reuse", filepath.Join(t.TempDir(), "missing.jsonl")}, &out, &errOut); err == nil {
+		t.Error("-reuse with a missing file must error")
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	encore [-app name] [-pmin p | -nopmin] [-gamma g] [-eta e]
 //	       [-budget b] [-alias static|optimistic] [-engine fast|ref|closure]
-//	       [-regions] [-ir] [-metrics file|-] [-prom file|-]
+//	       [-regions] [-hashes] [-ir] [-metrics file|-] [-prom file|-]
 //	       [-chrometrace file|-]
 //
 // With no -app it reports a one-line summary for every benchmark.
@@ -44,6 +44,7 @@ func main() {
 		aliasMode = flag.String("alias", "static", "alias analysis: static, profiled, or optimistic")
 		engine    = flag.String("engine", "", "execution engine for measurement runs: fast, ref, or closure")
 		regions   = flag.Bool("regions", false, "print per-region detail")
+		hashes    = flag.Bool("hashes", false, "print the per-region content-hash table (the adaptive-reuse key)")
 		dumpIR    = flag.Bool("ir", false, "print the instrumented IR")
 		optimize  = flag.Bool("O", false, "run scalar optimizations before analysis")
 		file      = flag.String("file", "", "compile a textual IR module from a file instead of a benchmark")
@@ -153,6 +154,14 @@ func main() {
 					r.ID, r.Fn.Name+"/"+r.Header.Name, class, r.Selected,
 					len(r.Analysis.CP), len(r.RegCkpts),
 					100*float64(r.DynInstrs)/total, r.InstanceLen())
+			}
+		}
+		if *hashes {
+			// The same content hash keys ledger headers (sfi.RegionInfo.Hash)
+			// and adaptive-reuse priors, so this table lets a user predict
+			// which regions a -reuse re-run will re-inject after an edit.
+			for _, rc := range res.RegionCoverages(100) {
+				fmt.Printf("  region %-3d %-28s %s\n", rc.ID, rc.Fn+"/"+rc.Header, rc.Hash)
 			}
 		}
 		if *dumpIR {

@@ -1,0 +1,41 @@
+// Package ci provides the binomial confidence-interval arithmetic shared
+// by the live stats estimator (internal/stats) and the adaptive stopping
+// policy (internal/sfi). It sits below both so that sfi — which stats
+// imports for the ledger types — can score convergence without an import
+// cycle. The arithmetic here is evaluation-order identical to what
+// internal/stats historically computed: snapshots are compared byte for
+// byte across processes, so the float associativity must not drift.
+package ci
+
+import "math"
+
+// Z95 is the normal quantile behind every confidence interval in the
+// tree: 1.96, the two-sided 95% value.
+const Z95 = 1.96
+
+// Wilson returns the Wilson-score interval for k successes out of n
+// trials at the 95% level: the clamped [lo, hi] bounds and the interval
+// half-width. Unlike the naive Wald interval it is well-behaved at
+// p̂ ∈ {0, 1} and small n. n <= 0 returns total uncertainty: [0, 1]
+// around a 0.5 center, half-width 0.5 — so an unstruck region ranks as
+// maximally unknown rather than perfectly estimated.
+func Wilson(k, n int) (lo, hi, half float64) {
+	if n <= 0 {
+		return 0, 1, 0.5
+	}
+	nf := float64(n)
+	p := float64(k) / nf
+	z2 := Z95 * Z95
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half = (Z95 / denom) * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	if lo < 0 {
+		lo = 0
+	}
+	hi = center + half
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, half
+}

@@ -1,0 +1,54 @@
+package ci
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonVacuous(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		lo, hi, half := Wilson(3, n)
+		if lo != 0 || hi != 1 || half != 0.5 {
+			t.Errorf("Wilson(3,%d) = (%v,%v,%v), want (0,1,0.5)", n, lo, hi, half)
+		}
+	}
+}
+
+func TestWilsonBounds(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{0, 1}, {1, 1}, {0, 18}, {18, 18}, {5, 10}, {45, 90}, {999, 1000},
+	}
+	for _, c := range cases {
+		lo, hi, half := Wilson(c.k, c.n)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("Wilson(%d,%d) out of order: lo=%v hi=%v", c.k, c.n, lo, hi)
+		}
+		if half <= 0 {
+			t.Errorf("Wilson(%d,%d) half=%v, want > 0", c.k, c.n, half)
+		}
+		p := float64(c.k) / float64(c.n)
+		if p < lo-1e-12 || p > hi+1e-12 {
+			t.Errorf("Wilson(%d,%d): p̂=%v outside [%v,%v]", c.k, c.n, p, lo, hi)
+		}
+	}
+}
+
+func TestWilsonShrinks(t *testing.T) {
+	// Half-width must shrink monotonically in n at fixed p̂ = 0.5, and the
+	// convergence thresholds the adaptive stopper relies on must hold:
+	// p̂ = 0 converges (half ≤ 0.1) around n = 18, p̂ = 0.5 around n = 90.
+	prev := math.Inf(1)
+	for n := 2; n <= 256; n *= 2 {
+		_, _, half := Wilson(n/2, n)
+		if half >= prev {
+			t.Errorf("half-width not shrinking at n=%d: %v >= %v", n, half, prev)
+		}
+		prev = half
+	}
+	if _, _, h := Wilson(0, 18); h > 0.1 {
+		t.Errorf("Wilson(0,18) half=%v, want <= 0.1", h)
+	}
+	if _, _, h := Wilson(45, 90); h > 0.105 {
+		t.Errorf("Wilson(45,90) half=%v, want <= 0.105", h)
+	}
+}

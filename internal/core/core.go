@@ -15,7 +15,10 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 
 	"encore/internal/alias"
 	"encore/internal/idem"
@@ -435,6 +438,14 @@ type RegionCoverage struct {
 	// Alpha is model.Alpha(InstanceLen, dmax): the probability a fault
 	// striking inside the region is detected before control leaves it.
 	Alpha float64
+	// Hash digests the region's post-instrumentation code — function
+	// name, member block names, every instruction and terminator in
+	// block order. It identifies "the same region code" across compiles
+	// of edited modules: unchanged functions keep their region hashes
+	// while any code or instrumentation change produces a new one, which
+	// is the join key for composing prior campaign results
+	// (sfi.PriorRegion) instead of re-injecting unchanged regions.
+	Hash string
 }
 
 // RegionCoverages evaluates the α model for every formed region
@@ -449,6 +460,7 @@ func (r *Result) RegionCoverages(dmax float64) []RegionCoverage {
 			Class: rg.Analysis.Class, Selected: rg.Selected,
 			InstanceLen: rg.InstanceLen(),
 			Alpha:       model.Alpha(rg.InstanceLen(), dmax),
+			Hash:        regionHash(rg),
 		}
 		if total > 0 {
 			rc.DynFrac = float64(rg.DynInstrs) / total
@@ -456,6 +468,32 @@ func (r *Result) RegionCoverages(dmax float64) []RegionCoverage {
 		out = append(out, rc)
 	}
 	return out
+}
+
+// regionHash computes RegionCoverage.Hash: a SHA-256 digest (truncated
+// to 128 bits, hex) over the region's member blocks in function block
+// order — names, instructions, and terminators as printed by the ir
+// package. Hashing the instrumented form is deliberate: a change to
+// checkpoint placement invalidates prior trial results just as surely
+// as a source edit does.
+func regionHash(rg *region.Region) string {
+	h := sha256.New()
+	io.WriteString(h, rg.Fn.Name)
+	io.WriteString(h, "\x00")
+	for _, b := range rg.Fn.Blocks {
+		if !rg.Blocks[b] {
+			continue
+		}
+		io.WriteString(h, b.Name)
+		io.WriteString(h, "\x01")
+		for i := range b.Instrs {
+			io.WriteString(h, b.Instrs[i].String())
+			io.WriteString(h, "\n")
+		}
+		io.WriteString(h, b.Term.String())
+		io.WriteString(h, "\x02")
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // RecoverableCoverage applies the Equation-7 α model to the selected

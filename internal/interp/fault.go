@@ -175,6 +175,18 @@ func (m *Machine) lastRegion() *regionState {
 	return nil
 }
 
+// ActiveRegionID returns the ID of the region that would catch a fault
+// detected right now — the same recovery-arm lookup detect performs — or
+// -1 when no armed region is live. It is meant for hooks (the region-map
+// recorder in internal/trace) that want to attribute instruction counts
+// to regions during an instrumented golden run.
+func (m *Machine) ActiveRegionID() int {
+	if r := m.lastRegion(); r != nil && r.meta != nil {
+		return r.meta.ID
+	}
+	return -1
+}
+
 // detect models the detector firing: control is redirected to the recovery
 // block published by the most recent region entry. Frames above the
 // region's frame are unwound (the stack pointer is a live-in register and

@@ -64,6 +64,19 @@ type SubmitRequest struct {
 	// ShardSize is the trials-per-scheduling-step batch (0 = heuristic).
 	// Ledgers are shard-size-invariant.
 	ShardSize int `json:"shard_size,omitempty"`
+
+	// Adaptive enables variance-aware adaptive stopping (sfi.Stopper):
+	// trials aimed at regions whose recovery-rate Wilson interval has
+	// converged are skipped, and the ledger carries only executed trials.
+	// A positive AdaptiveCI or AdaptiveRound implies Adaptive.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// AdaptiveCI is the convergence half-width target (0 = the server's
+	// default, then sfi's DefaultTargetCI). Negative is rejected.
+	AdaptiveCI float64 `json:"adaptive_ci,omitempty"`
+	// AdaptiveRound is the stopping-decision round size in trials
+	// (0 = deterministic heuristic from the trial count). Negative is
+	// rejected.
+	AdaptiveRound int `json:"adaptive_round,omitempty"`
 }
 
 // CampaignStatus is the JSON shape of one campaign in status, submit,
@@ -108,6 +121,9 @@ type ResultResponse struct {
 	// PredCoverage is the analytical coverage prediction from the ledger
 	// header.
 	PredCoverage float64 `json:"pred_coverage"`
+	// Skipped counts planned trials adaptive stopping elided (zero for
+	// non-adaptive campaigns).
+	Skipped int `json:"skipped,omitempty"`
 }
 
 // APIError is the JSON body of every non-2xx response.
@@ -156,6 +172,7 @@ type campaignSpec struct {
 	bits    int
 	workers int
 	shard   int
+	stop    *sfi.Stopper
 	ccfg    core.Config
 }
 
@@ -182,6 +199,19 @@ func (r *SubmitRequest) normalize(cfg Config) (campaignSpec, error) {
 	}
 	if sp.workers == 0 {
 		sp.workers = cfg.Workers
+	}
+	if r.AdaptiveCI < 0 {
+		return sp, fmt.Errorf("adaptive_ci %g is negative", r.AdaptiveCI)
+	}
+	if r.AdaptiveRound < 0 {
+		return sp, fmt.Errorf("adaptive_round %d is negative", r.AdaptiveRound)
+	}
+	if r.Adaptive || r.AdaptiveCI > 0 || r.AdaptiveRound > 0 {
+		target := r.AdaptiveCI
+		if target == 0 {
+			target = cfg.AdaptiveCI
+		}
+		sp.stop = &sfi.Stopper{TargetCI: target, Round: r.AdaptiveRound}
 	}
 
 	ccfg := core.DefaultConfig()
@@ -275,7 +305,7 @@ func RegionTable(res *core.Result, dmax int64) []sfi.RegionInfo {
 		out = append(out, sfi.RegionInfo{
 			ID: rc.ID, Fn: rc.Fn, Header: rc.Header, Class: rc.Class.String(),
 			Selected: rc.Selected, DynFrac: rc.DynFrac,
-			InstanceLen: rc.InstanceLen, Alpha: rc.Alpha,
+			InstanceLen: rc.InstanceLen, Alpha: rc.Alpha, Hash: rc.Hash,
 		})
 	}
 	return out

@@ -85,6 +85,11 @@ type Config struct {
 	// status, duration, tenant) to Log. Off by default because streaming
 	// followers make request logs chatty.
 	LogRequests bool
+	// AdaptiveCI is the server-default convergence half-width target for
+	// campaigns that request adaptive stopping without naming their own
+	// adaptive_ci. Zero defers to sfi.DefaultTargetCI. It never turns
+	// adaptive stopping on by itself; each campaign opts in.
+	AdaptiveCI float64
 	// Pprof mounts net/http/pprof's profile handlers under /debug/pprof/
 	// on the daemon mux. Off by default: profiles expose internals and
 	// cost CPU, so production deployments opt in.
@@ -375,6 +380,7 @@ func (s *Server) execute(c *campaign) (*sfi.CampaignResult, error) {
 		Trace: obs.NewJSONLSink(c),
 		Stats: c.est,
 		Ctx:   c.ctx, ShardSize: c.spec.shard,
+		Stop: c.spec.stop,
 	})
 }
 
@@ -484,6 +490,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if res := c.campaignResult(); res != nil {
 		out.SameInstance = res.SameInstance
 		out.RecoveredRate = res.RecoveredRate()
+		out.Skipped = res.Skipped
 		for o := sfi.Outcome(0); o < sfi.Outcome(len(res.Counts)); o++ {
 			out.Counts[o.String()] = res.Counts[o]
 		}

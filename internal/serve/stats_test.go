@@ -12,6 +12,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"encore/internal/attrib"
 	"encore/internal/core"
@@ -323,5 +324,176 @@ func TestPprofMounting(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("pprof index with Pprof off: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAdaptiveCancelDuringStream cancels an adaptive campaign while its
+// ledger is streaming: the stream must terminate with a partial prefix,
+// the campaign settles canceled with a partial executed count, and the
+// admission budget frees up — the gated-stream guarantees hold when the
+// round loop, not the flat trial loop, is driving.
+func TestAdaptiveCancelDuringStream(t *testing.T) {
+	const trials = 5000
+	srv := NewServer(Config{MaxInFlightTrials: trials, Obs: obs.NewRegistry()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// An unreachably tight target keeps every round busy, so the cancel
+	// lands mid-campaign rather than after adaptive stopping drained it.
+	body := fmt.Sprintf(`{"workload":"rawcaudio","trials":%d,"workers":1,"shard_size":1,"engine":"ref","adaptive":true,"adaptive_ci":0.0001}`, trials)
+	code, st, apiErr, _ := submit(t, ts.URL, "", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d error %+v", code, apiErr)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	for i := 0; i < 4; i++ {
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatalf("ledger line %d: %v", i, err)
+		}
+	}
+	cancelResp, err := http.Post(ts.URL+"/v1/campaigns/"+st.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelResp.Body.Close()
+
+	rest, err := io.ReadAll(br)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 3 + bytes.Count(rest, []byte("\n"))
+	if lines >= trials {
+		t.Fatalf("ledger holds %d records after cancel, want a partial prefix", lines)
+	}
+
+	final := waitState(t, ts.URL, st.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("campaign settled %q, want canceled", final.State)
+	}
+	if final.Executed == 0 || final.Executed >= trials {
+		t.Fatalf("canceled adaptive campaign executed %d trials, want a partial count", final.Executed)
+	}
+
+	// The budget came back: a fresh adaptive campaign is admitted and
+	// finishes.
+	code, st2, _, _ := submit(t, ts.URL, "", `{"workload":"rawcaudio","trials":10,"adaptive":true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("post-cancel submit: status %d, want 202", code)
+	}
+	if st := waitState(t, ts.URL, st2.ID); st.State != StateDone {
+		t.Fatalf("post-cancel campaign settled %q, want done", st.State)
+	}
+}
+
+// TestAdaptiveDrainDuringStream drains the server while a gated
+// adaptive campaign is mid-stream: drain must wait for it, the stream
+// must still deliver the full (skip-elided) ledger, and the settled
+// result must carry the adaptive accounting.
+func TestAdaptiveDrainDuringStream(t *testing.T) {
+	const trials = 300
+	gate := make(chan struct{})
+	srv := NewServer(Config{
+		Obs: obs.NewRegistry(),
+		Gate: func(ctx context.Context, id string) {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+			}
+		},
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"workload":"g721encode","trials":%d,"seed":7,"adaptive":true,"adaptive_ci":0.12}`, trials)
+	code, st, apiErr, _ := submit(t, ts.URL, "", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d error %+v", code, apiErr)
+	}
+
+	// Attach the ledger stream while the campaign is still gated. The
+	// stream produces nothing until the gate opens, so a goroutine
+	// collects it while the main flow drives drain and the gate.
+	type streamResult struct {
+		body []byte
+		err  error
+	}
+	streamed := make(chan streamResult, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/ledger")
+		if err != nil {
+			streamed <- streamResult{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		streamed <- streamResult{body: body, err: err}
+	}()
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hz, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hz.Body.Close()
+		if hz.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	code, _, apiErr, _ = submit(t, ts.URL, "", `{"workload":"rawcaudio","trials":5}`)
+	if code != http.StatusServiceUnavailable || apiErr.Code != "draining" {
+		t.Fatalf("submit while draining: status %d code %q, want 503 draining", code, apiErr.Code)
+	}
+
+	// Release the gate; the draining server still runs the adaptive
+	// campaign to completion and the stream delivers the elided ledger.
+	close(gate)
+	sr := <-streamed
+	if sr.err != nil {
+		t.Fatalf("ledger stream: %v", sr.err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(sr.body), "\n"), "\n")
+	if len(lines) == 0 || !strings.Contains(lines[0], `"type":"campaign"`) {
+		t.Fatalf("first ledger line is not the campaign header: %q", lines[0])
+	}
+	records := len(lines) - 1
+
+	final := waitState(t, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("campaign settled %q, want done", final.State)
+	}
+	res, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr ResultResponse
+	err = json.NewDecoder(res.Body).Decode(&rr)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Skipped == 0 {
+		t.Errorf("adaptive campaign skipped nothing (target 0.12 over %d trials should converge)", trials)
+	}
+	if rr.Executed+rr.Skipped != trials {
+		t.Errorf("executed %d + skipped %d != %d", rr.Executed, rr.Skipped, trials)
+	}
+	if records != rr.Executed {
+		t.Errorf("ledger streamed %d records, result reports %d executed", records, rr.Executed)
 	}
 }

@@ -1,0 +1,202 @@
+package sfi
+
+import (
+	"encore/internal/ci"
+	"encore/internal/interp"
+	"encore/internal/trace"
+)
+
+// NotInjectedKey is the pseudo-region key adaptive stopping uses for
+// trials whose fault never fires (the program completes before the
+// injection slot). It shares the key space with region IDs (-1 =
+// unprotected code, >= 0 = region) without colliding.
+const NotInjectedKey = -2
+
+// Stopper is the variance-aware adaptive stopping policy for injection
+// campaigns: it halts sampling for region keys whose recovery-rate
+// Wilson interval has converged below TargetCI, so the remaining trial
+// budget is spent only on regions whose estimate is still wide.
+//
+// Decisions are made at deterministic round boundaries from the
+// trial-ordered record prefix, and the round size depends only on the
+// trial count — never on Workers, ShardSize, or Engine — so an adaptive
+// campaign executes exactly the same trial subset (and emits exactly the
+// same ledger bytes) across all of those knobs for a fixed seed.
+type Stopper struct {
+	// TargetCI is the Wilson half-width at which a region key counts as
+	// converged. Zero selects DefaultTargetCI.
+	TargetCI float64
+	// Round is the number of consecutive planned trials between stopping
+	// decisions. Zero selects a heuristic from the campaign's trial
+	// count alone (clamped to [MinRound, MaxRound]); negative is
+	// rejected by RunCampaign.
+	Round int
+}
+
+// Adaptive round-size bounds and the default convergence target.
+const (
+	// DefaultTargetCI is the convergence half-width used when
+	// Stopper.TargetCI is zero.
+	DefaultTargetCI = 0.05
+	// MinRound and MaxRound clamp the heuristic round size.
+	MinRound = 32
+	MaxRound = 1024
+)
+
+// roundSize resolves the stopping-decision cadence for a campaign of
+// the given trial count.
+func (s *Stopper) roundSize(trials int) int {
+	if s.Round > 0 {
+		return s.Round
+	}
+	r := trials / 32
+	if r < MinRound {
+		r = MinRound
+	}
+	if r > MaxRound {
+		r = MaxRound
+	}
+	return r
+}
+
+// target resolves the convergence half-width.
+func (s *Stopper) target() float64 {
+	if s.TargetCI > 0 {
+		return s.TargetCI
+	}
+	return DefaultTargetCI
+}
+
+// PriorRegion seeds adaptive stopping with a prior campaign's tally for
+// one region, keyed by region content hash (FastFlip-style compositional
+// reuse). A region of the current module whose hash matches starts with
+// these counts already folded in: if the prior campaign converged it,
+// the re-run skips its trials entirely and only re-injects regions whose
+// code actually changed.
+type PriorRegion struct {
+	// Hash is the region content hash the counts belong to.
+	Hash string
+	// Struck is how many prior injected trials landed in the region.
+	Struck int
+	// Recovered is how many of those ended in Outcome Recovered.
+	Recovered int
+}
+
+// keyTally accumulates one region key's adaptive evidence: n observed
+// strikes (plus prior), k recoveries among them.
+type keyTally struct {
+	n, k int
+}
+
+// stopRun is the per-campaign state behind a Stopper: the predicted key
+// for every planned trial, per-key tallies, and the halted set. All
+// mutation happens at round barriers on the coordinating goroutine
+// except exec, whose elements are written once each by the worker that
+// owns the trial and read only after the round's dispatch joins.
+type stopRun struct {
+	target float64
+	round  int
+	pred   []int // predicted region key per planned trial
+	skip   []bool
+	exec   []bool
+	tally  map[int]*keyTally
+	halted map[int]bool
+
+	mispred int
+	skipped int
+}
+
+// newStopRun predicts every planned trial's region key from one hooked
+// golden run, seeds prior tallies by content hash, and computes the
+// initial halted set.
+func newStopRun(stop *Stopper, plans []interp.FaultPlan, rm *trace.RegionMap,
+	regions []RegionInfo, prior []PriorRegion, trials int) *stopRun {
+	s := &stopRun{
+		target: stop.target(),
+		round:  stop.roundSize(trials),
+		pred:   make([]int, len(plans)),
+		skip:   make([]bool, len(plans)),
+		exec:   make([]bool, len(plans)),
+		tally:  map[int]*keyTally{},
+		halted: map[int]bool{},
+	}
+	for t, p := range plans {
+		if r, ok := rm.RegionAt(p.InjectAt); ok {
+			s.pred[t] = r
+		} else {
+			s.pred[t] = NotInjectedKey
+		}
+	}
+	if len(prior) > 0 {
+		byHash := make(map[string]PriorRegion, len(prior))
+		for _, p := range prior {
+			if p.Hash != "" {
+				byHash[p.Hash] = p
+			}
+		}
+		for _, ri := range regions {
+			if p, ok := byHash[ri.Hash]; ok && ri.Hash != "" {
+				s.tally[ri.ID] = &keyTally{n: p.Struck, k: p.Recovered}
+			}
+		}
+	}
+	s.rescore()
+	return s
+}
+
+// decide pins the skip set for the upcoming round [lo, hi): a trial is
+// skipped exactly when its predicted key is already halted. The
+// decision is made before any of the round's trials run, from tallies
+// that cover only completed rounds, which is what makes the executed
+// subset worker-shape-invariant.
+func (s *stopRun) decide(lo, hi int) {
+	for t := lo; t < hi; t++ {
+		s.skip[t] = s.halted[s.pred[t]]
+		if s.skip[t] {
+			s.skipped++
+		}
+	}
+}
+
+// fold absorbs the completed round [lo, hi) into the tallies — keyed by
+// the *actual* strike region from each executed record, counting
+// prediction disagreements — then re-scores the halted set.
+func (s *stopRun) fold(lo, hi int, records []TrialRecord) {
+	for t := lo; t < hi; t++ {
+		if s.skip[t] || !s.exec[t] {
+			continue
+		}
+		rec := &records[t]
+		key := NotInjectedKey
+		if rec.Injected {
+			key = rec.RegionID
+		}
+		if key != s.pred[t] {
+			s.mispred++
+		}
+		tl := s.tally[key]
+		if tl == nil {
+			tl = &keyTally{}
+			s.tally[key] = tl
+		}
+		tl.n++
+		if rec.Outcome == Recovered {
+			tl.k++
+		}
+	}
+	s.rescore()
+}
+
+// rescore moves every converged key into the halted set. Halting is
+// monotone: once a key converges it stays halted, so skip decisions can
+// only grow between rounds.
+func (s *stopRun) rescore() {
+	for key, tl := range s.tally {
+		if s.halted[key] {
+			continue
+		}
+		if _, _, half := ci.Wilson(tl.k, tl.n); half <= s.target {
+			s.halted[key] = true
+		}
+	}
+}

@@ -28,6 +28,13 @@ type RegionInfo struct {
 	DynFrac     float64 `json:"dyn_frac"`
 	InstanceLen float64 `json:"instance_len"`
 	Alpha       float64 `json:"alpha"`
+	// Hash is the region's content hash (core.RegionCoverage.Hash): a
+	// digest of the instrumented instructions the region spans. Two
+	// compiles of a module produce the same hash for a region exactly
+	// when its code is unchanged, which is the join key FastFlip-style
+	// result reuse (CampaignConfig.Prior) composes prior campaigns on.
+	// Empty when the producer predates content hashing.
+	Hash string `json:"hash,omitempty"`
 }
 
 // CampaignMeta is the header record of one campaign's trace: the

@@ -20,6 +20,7 @@ import (
 	"encore/internal/interp"
 	"encore/internal/ir"
 	"encore/internal/obs"
+	"encore/internal/trace"
 	"encore/internal/workpool"
 )
 
@@ -128,7 +129,7 @@ func MeasureMasking(build func() (*ir.Module, []*ir.Global), cfg MaskingConfig) 
 		}
 	}
 	var mu sync.Mutex
-	runTrials(pool, len(plans), cfg.Workers, 0, nil, reg, cfg.Progress, func(w *interp.Machine, t int) {
+	runTrials(pool, 0, len(plans), cfg.Workers, 0, nil, reg, cfg.Progress, func(w *interp.Machine, t int) {
 		w.Reset()
 		w.InjectFault(plans[t])
 		_, err := w.Run()
@@ -307,15 +308,56 @@ type CampaignConfig struct {
 	// heuristic balancing queue traffic against cancellation/streaming
 	// latency. Outcomes and the ledger are shard-size-invariant.
 	ShardSize int
+
+	// Shard, when non-nil, restricts execution to one Partition element
+	// of the trial space: plans for all Trials are still derived from
+	// the seed (so trial indices, sites, and latencies are global), but
+	// only [Shard.Lo, Shard.Hi) executes, and only those records reach
+	// Records, the Trace stream, and the StatsSink — as the exact bytes
+	// the corresponding lines of a single-process run would carry. The
+	// range is validated against (Trials, Seed, Shard.Count); a stale or
+	// foreign range is an error, not a silent misexecution. Incompatible
+	// with Stop (adaptive decisions need the global record stream).
+	Shard *ShardRange
+	// Stop, when non-nil, enables variance-aware adaptive stopping: the
+	// campaign predicts each planned trial's strike region from one
+	// hooked golden run, and at deterministic round boundaries skips
+	// trials whose predicted region's recovery-rate Wilson interval has
+	// already converged below Stop's target. Skipped trials execute
+	// nothing and emit nothing; CampaignResult.Skipped counts them and
+	// Records/Trace/Stats carry exactly the executed subset, in trial
+	// order, identically across Workers/ShardSize/Engine. Implies record
+	// retention (as if Ledger were set).
+	Stop *Stopper
+	// Prior seeds adaptive stopping with a previous campaign's per-region
+	// tallies, keyed by region content hash (see PriorRegion). Regions
+	// whose code is unchanged since the prior run start from its counts
+	// — if the prior campaign converged them, they are never re-injected
+	// — while changed regions (different hash) start cold. Ignored when
+	// Stop is nil.
+	Prior []PriorRegion
 }
 
 // CampaignResult aggregates trial outcomes.
 type CampaignResult struct {
 	Trials int
 	// Executed counts the trials that actually ran; it equals Trials
-	// unless the campaign's Ctx canceled it mid-flight.
+	// unless the campaign ran one Shard of the trial space, adaptive
+	// stopping (Stop) skipped converged trials, or the campaign's Ctx
+	// canceled it mid-flight.
 	Executed int
-	Counts   [numOutcomes]int
+	// Skipped counts planned trials adaptive stopping elided because
+	// their predicted region had already converged below the target
+	// half-width. Trials - Executed - Skipped is the cancellation
+	// remainder (zero for a completed run).
+	Skipped int
+	// Mispredicted counts executed trials whose golden-run region
+	// prediction disagreed with the actual strike region. The region map
+	// is exact for deterministic workloads, so this is expected to be
+	// zero; a non-zero value only costs stopping efficiency, never
+	// correctness of the emitted records.
+	Mispredicted int
+	Counts       [numOutcomes]int
 
 	// SameInstance counts recovered trials whose rollback target was the
 	// very region instance the fault struck (the case the paper's α model
@@ -361,6 +403,22 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	if cfg.Dmax < 0 {
 		return nil, fmt.Errorf("sfi: negative Dmax %d (latency is sampled uniformly from [0, Dmax])", cfg.Dmax)
 	}
+	if cfg.Shard != nil && cfg.Stop != nil {
+		return nil, fmt.Errorf("sfi: Shard and Stop cannot be combined (adaptive stopping decides from the global record stream)")
+	}
+	if cfg.Shard != nil {
+		if err := cfg.Shard.validate(cfg.Trials, cfg.Seed); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Stop != nil {
+		if cfg.Stop.Round < 0 {
+			return nil, fmt.Errorf("sfi: negative adaptive round size %d", cfg.Stop.Round)
+		}
+		if cfg.Stop.TargetCI < 0 {
+			return nil, fmt.Errorf("sfi: negative adaptive target CI %g", cfg.Stop.TargetCI)
+		}
+	}
 	cfg.Workers = ClampWorkers(cfg.Workers, cfg.Trials)
 	reg := obs.Or(cfg.Obs)
 	sp := reg.Span("sfi/campaign")
@@ -385,10 +443,19 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 			DetectLatency: r.intn(cfg.Dmax + 1),
 		}
 	}
+	// Execution range: the whole plan table, or one Partition element.
+	// Plans are always derived for the full trial space — that is what
+	// makes a shard's records byte-identical to the single-process run's.
+	lo, hi := 0, cfg.Trials
+	if cfg.Shard != nil {
+		lo, hi = cfg.Shard.Lo, cfg.Shard.Hi
+	}
 	// Trial ledger: records are filled by trial index (not completion
 	// order) into a preallocated slice, so the emitted stream is
 	// deterministic given the seed regardless of worker interleaving.
-	ledger := cfg.Trace != nil || cfg.Ledger || cfg.Stats != nil
+	// Adaptive stopping implies retention: its round decisions fold the
+	// executed records.
+	ledger := cfg.Trace != nil || cfg.Ledger || cfg.Stats != nil || cfg.Stop != nil
 	var classOf map[int]string
 	if ledger {
 		res.Records = make([]TrialRecord, cfg.Trials)
@@ -427,11 +494,22 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	// same drain feeds the StatsSink (before the trace line, per the
 	// StatsSink contract), which is what makes online estimators
 	// bit-identical across worker/shard/engine shapes.
+	// Adaptive stopping: predict every planned trial's strike region from
+	// one hooked golden run, so round decisions can skip trials aimed at
+	// already-converged regions without executing them.
+	var stop *stopRun
+	if cfg.Stop != nil {
+		rm, err := trace.RecordRegionMap(mod, metas, pool.prog)
+		if err != nil {
+			return nil, fmt.Errorf("sfi: %w", err)
+		}
+		stop = newStopRun(cfg.Stop, plans, rm, cfg.Regions, cfg.Prior, cfg.Trials)
+	}
 	var (
 		mu     sync.Mutex
 		emitMu sync.Mutex
 		done   []bool
-		cursor int
+		cursor = lo
 	)
 	if cfg.Trace != nil || cfg.Stats != nil {
 		done = make([]bool, cfg.Trials)
@@ -441,17 +519,20 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 		defer emitMu.Unlock()
 		for {
 			mu.Lock()
-			lo := cursor
-			hi := lo
-			for hi < len(done) && done[hi] {
-				hi++
+			elo := cursor
+			ehi := elo
+			for ehi < len(done) && done[ehi] {
+				ehi++
 			}
-			cursor = hi
+			cursor = ehi
 			mu.Unlock()
-			if hi == lo {
+			if ehi == elo {
 				return
 			}
-			for t := lo; t < hi; t++ {
+			for t := elo; t < ehi; t++ {
+				if stop != nil && stop.skip[t] {
+					continue // skipped trials leave no record anywhere
+				}
 				if cfg.Stats != nil {
 					cfg.Stats.ObserveTrial(res.Records[t])
 				}
@@ -465,7 +546,7 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	if cfg.Ctx != nil {
 		cancel = cfg.Ctx.Done()
 	}
-	runTrials(pool, len(plans), cfg.Workers, cfg.ShardSize, cancel, reg, cfg.Progress, func(w *interp.Machine, t int) {
+	doTrial := func(w *interp.Machine, t int) {
 		w.Reset()
 		w.InjectFault(plans[t])
 		_, err := w.Run()
@@ -488,11 +569,66 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 		if done != nil {
 			emitDone()
 		}
-	})
+	}
+	if stop == nil {
+		runTrials(pool, lo, hi, cfg.Workers, cfg.ShardSize, cancel, reg, cfg.Progress, doTrial)
+	} else {
+		// Round loop: pin the skip set from completed-round tallies, run
+		// the round (skips cost a scheduling step, not an execution), then
+		// fold its records and re-score convergence at the barrier. Every
+		// decision input is a deterministic function of (seed, prior,
+		// policy), so the executed subset — and therefore the ledger — is
+		// identical across worker counts and engines.
+		for rlo := lo; rlo < hi; rlo += stop.round {
+			if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+				break
+			}
+			rhi := rlo + stop.round
+			if rhi > hi {
+				rhi = hi
+			}
+			stop.decide(rlo, rhi)
+			runTrials(pool, rlo, rhi, cfg.Workers, cfg.ShardSize, cancel, reg, cfg.Progress, func(w *interp.Machine, t int) {
+				if stop.skip[t] {
+					if done != nil {
+						mu.Lock()
+						done[t] = true
+						mu.Unlock()
+						emitDone()
+					}
+					return
+				}
+				doTrial(w, t)
+				stop.exec[t] = true
+			})
+			stop.fold(rlo, rhi, res.Records)
+		}
+		res.Skipped = stop.skipped
+		res.Mispredicted = stop.mispred
+	}
+	// A shard's Records cover only its range; an adaptive campaign's only
+	// the executed subset. Both stay in trial order.
+	if res.Records != nil {
+		switch {
+		case cfg.Shard != nil:
+			res.Records = res.Records[lo:hi:hi]
+		case stop != nil:
+			kept := res.Records[:0]
+			for t := range res.Records {
+				if stop.exec[t] {
+					kept = append(kept, res.Records[t])
+				}
+			}
+			res.Records = kept
+		}
+	}
 	for o := Outcome(0); o < numOutcomes; o++ {
 		reg.Add("sfi.outcome."+o.String(), int64(res.Counts[o]))
 	}
 	reg.Add("sfi.trials", int64(res.Executed))
+	if stop != nil {
+		reg.Add("sfi.skipped", int64(res.Skipped))
+	}
 	reg.Add("sfi.recovered.same_instance", int64(res.SameInstance))
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 		return res, cfg.Ctx.Err()
@@ -507,12 +643,15 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 // image, frame slots, and checkpoint buffers instead of reallocating
 // them.
 type machinePool struct {
+	// prog is the shared pre-decoded Program; also handed to the
+	// adaptive region-map run so it skips re-decoding.
+	prog *interp.Program
 	pool sync.Pool
 }
 
 func newMachinePool(mod *ir.Module, metas []interp.RegionMeta, engine interp.Engine) *machinePool {
 	prog := interp.Predecode(mod)
-	p := &machinePool{}
+	p := &machinePool{prog: prog}
 	p.pool.New = func() any {
 		w := interp.New(mod, interp.Config{Engine: engine})
 		w.UseProgram(prog)
@@ -561,18 +700,20 @@ func shardSize(size, trials, workers int) int {
 	return size
 }
 
-// runTrials executes fn over trial indices, scheduled as contiguous
-// shards (workpool.Dispatch) on a bounded worker pool, each worker
-// leasing a private machine (machines are not goroutine-safe). Trial
-// plans are pre-derived and results are collected positionally, so every
-// (workers, shard) shape is identical to the serial order. The worker
-// count is normalized via ClampWorkers; a single worker runs inline with
-// no goroutine or channel overhead. A closed cancel channel (may be nil)
-// stops scheduling at shard granularity. Each worker's machine reports
-// into reg (folded at the Reset boundary between trials), its end-of-run
-// throughput lands in the "sfi.worker.trials_per_sec" histogram, and
-// prog (may be nil) is stepped once per completed trial.
-func runTrials(pool *machinePool, trials, workers, shard int, cancel <-chan struct{}, reg *obs.Registry, prog *obs.Progress, fn func(w *interp.Machine, t int)) {
+// runTrials executes fn over the trial indices [lo, hi), scheduled as
+// contiguous shards (workpool.Dispatch) on a bounded worker pool, each
+// worker leasing a private machine (machines are not goroutine-safe).
+// Trial plans are pre-derived and results are collected positionally, so
+// every (workers, shard) shape is identical to the serial order. The
+// worker count is normalized via ClampWorkers; a single worker runs
+// inline with no goroutine or channel overhead. A closed cancel channel
+// (may be nil) stops scheduling at shard granularity. Each worker's
+// machine reports into reg (folded at the Reset boundary between
+// trials), its end-of-run throughput lands in the
+// "sfi.worker.trials_per_sec" histogram, and prog (may be nil) is
+// stepped once per completed trial.
+func runTrials(pool *machinePool, lo, hi, workers, shard int, cancel <-chan struct{}, reg *obs.Registry, prog *obs.Progress, fn func(w *interp.Machine, t int)) {
+	trials := hi - lo
 	workers = ClampWorkers(workers, trials)
 	shard = shardSize(shard, trials, workers)
 	rate := reg.Histogram("sfi.worker.trials_per_sec")
@@ -583,7 +724,7 @@ func runTrials(pool *machinePool, trials, workers, shard int, cancel <-chan stru
 		n := 0
 		for sh, ok := pull(); ok; sh, ok = pull() {
 			for t := sh.Lo; t < sh.Hi; t++ {
-				fn(w, t)
+				fn(w, lo+t)
 				prog.Step(1)
 				n++
 			}

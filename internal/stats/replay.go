@@ -1,0 +1,22 @@
+package stats
+
+import "encore/internal/sfi"
+
+// Replay folds a complete in-memory campaign — header plus trial records
+// already in trial-index order — into a fresh estimator, exactly as if
+// the records had streamed through sfi.CampaignConfig.Stats live.
+//
+// This is how merged shard ledgers get their stats snapshot: float
+// accumulators (Welford moments, running sums) cannot be combined
+// pairwise without changing evaluation order, so the merge path re-feeds
+// the merged record stream in canonical order instead. The result is
+// byte-identical to the snapshot a single-process campaign would have
+// produced.
+func Replay(meta sfi.CampaignMeta, recs []sfi.TrialRecord) *Estimator {
+	e := New()
+	e.ObserveCampaign(meta)
+	for _, r := range recs {
+		e.ObserveTrial(r)
+	}
+	return e
+}

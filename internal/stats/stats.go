@@ -34,12 +34,14 @@ import (
 	"sort"
 	"sync"
 
+	"encore/internal/ci"
 	"encore/internal/sfi"
 )
 
 // WilsonZ is the normal quantile behind every confidence interval in
-// this package: 1.96, the two-sided 95% value.
-const WilsonZ = 1.96
+// this package: 1.96, the two-sided 95% value. It equals ci.Z95; the
+// constant is re-exported here for compatibility.
+const WilsonZ = ci.Z95
 
 // Wilson returns the Wilson-score interval for k successes out of n
 // trials at the 95% level: the clamped [lo, hi] bounds and the interval
@@ -48,24 +50,7 @@ const WilsonZ = 1.96
 // around a 0.5 center, half-width 0.5 — so an unstruck region ranks as
 // maximally unknown rather than perfectly estimated.
 func Wilson(k, n int) (lo, hi, half float64) {
-	if n <= 0 {
-		return 0, 1, 0.5
-	}
-	nf := float64(n)
-	p := float64(k) / nf
-	z2 := WilsonZ * WilsonZ
-	denom := 1 + z2/nf
-	center := (p + z2/(2*nf)) / denom
-	half = (WilsonZ / denom) * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
-	lo = center - half
-	if lo < 0 {
-		lo = 0
-	}
-	hi = center + half
-	if hi > 1 {
-		hi = 1
-	}
-	return lo, hi, half
+	return ci.Wilson(k, n)
 }
 
 // moments is a streaming accumulator for a value sequence: exact running

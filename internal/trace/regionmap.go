@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"encore/internal/interp"
+	"encore/internal/ir"
+)
+
+// RegionSpan is one run of consecutive fault-injection opportunities
+// attributed to a single armed region during a golden instrumented run.
+// A span covers every injection point whose post-retire instruction
+// count is <= EndCount and greater than the previous span's EndCount.
+type RegionSpan struct {
+	// EndCount is the instruction count the injection comparison
+	// (m.Count >= InjectAt) observes at this span's last opportunity.
+	EndCount int64
+	// Region is the armed region ID at those opportunities, or -1 for
+	// unprotected code.
+	Region int
+}
+
+// RegionMap predicts, for any InjectAt value of a CorruptOutput fault
+// plan, which region the strike will land in — without executing the
+// trial. It is built from one hooked golden run and is exact: the
+// interpreter injects at the first output-producing instruction whose
+// post-retire count reaches InjectAt, and the map records precisely
+// those instructions in retire order.
+type RegionMap struct {
+	// Spans hold the run-length-compressed opportunity stream, with
+	// strictly increasing EndCount.
+	Spans []RegionSpan
+}
+
+// RegionAt returns the region ID a CorruptOutput fault with the given
+// InjectAt would strike, and whether it would inject at all. A plan
+// whose InjectAt exceeds every opportunity never fires (the run
+// completes fault-free).
+func (rm *RegionMap) RegionAt(injectAt int64) (region int, injected bool) {
+	i := sort.Search(len(rm.Spans), func(i int) bool {
+		return rm.Spans[i].EndCount >= injectAt
+	})
+	if i == len(rm.Spans) {
+		return -1, false
+	}
+	return rm.Spans[i].Region, true
+}
+
+// RegionMapRecorder observes a golden instrumented run as an interp.Hook
+// and records, for every fault-injection opportunity, the instruction
+// count the injection comparison will see and the region armed at that
+// point.
+//
+// Injection opportunities are exactly the instructions the reference
+// loop's CorruptOutput paths cover: OpStore (memory strike) and any
+// register-defining instruction other than OpCall (calls re-enter the
+// dispatch loop before the register injection point). The count the
+// comparison sees is m.Count after the instruction retires — which may
+// exceed the hook-time count by more than one (OpCkptMem counts twice,
+// externs may run nested instructions) — so each opportunity is stamped
+// lazily at the *next* hook invocation, when m.Count holds exactly the
+// post-retire value.
+type RegionMapRecorder struct {
+	spans   []RegionSpan
+	pending bool
+	region  int
+}
+
+// OnInstr implements interp.Hook.
+func (r *RegionMapRecorder) OnInstr(m *interp.Machine, b *ir.Block, idx int) {
+	if r.pending {
+		r.stamp(m.Count)
+	}
+	if idx >= len(b.Instrs) {
+		return // terminators are not injection points
+	}
+	in := &b.Instrs[idx]
+	if in.Op == ir.OpStore || (in.Op != ir.OpCall && in.Def() != ir.NoReg) {
+		r.pending = true
+		r.region = m.ActiveRegionID()
+	}
+}
+
+// stamp closes the pending opportunity at post-retire count c, merging
+// it into the previous span when the region is unchanged.
+func (r *RegionMapRecorder) stamp(c int64) {
+	r.pending = false
+	if n := len(r.spans); n > 0 && r.spans[n-1].Region == r.region {
+		r.spans[n-1].EndCount = c
+		return
+	}
+	r.spans = append(r.spans, RegionSpan{EndCount: c, Region: r.region})
+}
+
+// RecordRegionMap runs the instrumented module once fault-free under a
+// RegionMapRecorder and returns the resulting prediction map. metas is
+// the region runtime table (as passed to Machine.SetRuntime by the
+// campaign itself); prog may be nil or a shared pre-decoded Program.
+func RecordRegionMap(mod *ir.Module, metas []interp.RegionMeta, prog *interp.Program) (*RegionMap, error) {
+	r := &RegionMapRecorder{}
+	m := interp.New(mod, interp.Config{Hook: r})
+	defer m.Release()
+	if prog != nil {
+		m.UseProgram(prog)
+	}
+	if metas != nil {
+		m.SetRuntime(metas)
+	}
+	if _, err := m.Run(); err != nil {
+		return nil, fmt.Errorf("trace: region map: %w", err)
+	}
+	if r.pending {
+		r.stamp(m.Count)
+	}
+	return &RegionMap{Spans: r.spans}, nil
+}

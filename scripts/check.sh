@@ -15,7 +15,11 @@
 # (workload, config, seed). The telemetry smokes additionally check that
 # encore-sfi -stats output is byte-identical across worker counts and
 # engines, and that the Prometheus expositions (CLI -prom and the
-# daemon's /metrics?format=prom) pass scripts/promlint.go.
+# daemon's /metrics?format=prom) pass scripts/promlint.go. The campaign
+# smokes additionally check that a 3-shard -shard/-merge split
+# reproduces the single-process ledger and stats byte for byte, and that
+# -adaptive stopping elides the same trials regardless of worker count
+# and engine.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -42,8 +46,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/stats ./internal/progen"
-go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/stats ./internal/progen
+echo "==> go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/stats ./internal/ci ./internal/progen"
+go test -race ./internal/interp ./internal/obs ./internal/core ./internal/sfi ./internal/serve ./internal/workpool ./internal/experiments ./internal/trace ./internal/attrib ./internal/stats ./internal/ci ./internal/progen
 
 echo "==> fuzz smoke (generative oracles, ${FUZZTIME:-10s} per target)"
 make -s fuzz-smoke FUZZTIME="${FUZZTIME:-10s}"
@@ -81,6 +85,11 @@ echo "==> flag surface (-h must document the observability flags)"
 "$tmp/encore-serve" -h 2>&1 | grep -q -- '-pprof' || { echo "encore-serve -h: missing -pprof" >&2; exit 1; }
 "$tmp/encore-serve" -h 2>&1 | grep -q -- '-log-requests' || { echo "encore-serve -h: missing -log-requests" >&2; exit 1; }
 "$tmp/encore-serve" -h 2>&1 | grep -q -- '-stats-every' || { echo "encore-serve -h: missing -stats-every" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-shard' || { echo "encore-sfi -h: missing -shard" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-merge' || { echo "encore-sfi -h: missing -merge" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-adaptive' || { echo "encore-sfi -h: missing -adaptive" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-reuse' || { echo "encore-sfi -h: missing -reuse" >&2; exit 1; }
+"$tmp/encore-serve" -h 2>&1 | grep -q -- '-adaptive-ci' || { echo "encore-serve -h: missing -adaptive-ci" >&2; exit 1; }
 
 echo "==> smoke: encore"
 "$tmp/encore" -app rawcaudio -metrics "$tmp/encore.json" > /dev/null
@@ -127,6 +136,38 @@ echo "==> smoke: encore-sfi -stats byte-identical across workers and engines"
 cmp -s "$tmp/stats-w1.json" "$tmp/stats-w4.json" || { echo "encore-sfi -stats: differs between -workers 1 and 4" >&2; exit 1; }
 cmp -s "$tmp/stats-w1.json" "$tmp/stats-closure.json" || { echo "encore-sfi -stats: differs between fast and closure engines" >&2; exit 1; }
 grep -q '"worst_ci_half_width"' "$tmp/stats-w1.json" || { echo "encore-sfi -stats: no worst_ci_half_width field" >&2; exit 1; }
+
+echo "==> smoke: 3-shard merged ledger+stats byte-identical to single process"
+# Deterministic trial-space sharding: three -shard i/3 runs of the same
+# (workload, trials, seed) campaign, merged with -merge, must reproduce
+# the single-process ledger and stats snapshot byte for byte.
+"$tmp/encore-sfi" -app rawdaudio -trials 30 -seed 4 -trace "$tmp/whole.jsonl" -stats "$tmp/whole-stats.json" > /dev/null
+for i in 1 2 3; do
+	"$tmp/encore-sfi" -app rawdaudio -trials 30 -seed 4 -shard "$i/3" -trace "$tmp/shard$i.jsonl" > /dev/null
+done
+"$tmp/encore-sfi" -merge -trace "$tmp/merged.jsonl" -stats "$tmp/merged-stats.json" \
+	"$tmp/shard2.jsonl" "$tmp/shard3.jsonl" "$tmp/shard1.jsonl"
+cmp -s "$tmp/whole.jsonl" "$tmp/merged.jsonl" || {
+	echo "encore-sfi -merge: merged ledger differs from single-process ledger:" >&2
+	diff "$tmp/whole.jsonl" "$tmp/merged.jsonl" >&2 || true
+	exit 1
+}
+cmp -s "$tmp/whole-stats.json" "$tmp/merged-stats.json" || {
+	echo "encore-sfi -merge: merged stats differ from single-process stats:" >&2
+	diff "$tmp/whole-stats.json" "$tmp/merged-stats.json" >&2 || true
+	exit 1
+}
+
+echo "==> smoke: adaptive stopping deterministic across workers and engines"
+# The stop decision folds at round barriers from the global record
+# stream, so the elided ledger must not depend on parallelism or engine.
+"$tmp/encore-sfi" -app g721encode -trials 300 -seed 7 -adaptive -adaptive-ci 0.12 -trace "$tmp/adapt-a.jsonl" > "$tmp/adapt-a.txt"
+"$tmp/encore-sfi" -app g721encode -trials 300 -seed 7 -adaptive -adaptive-ci 0.12 -workers 1 -engine ref -trace "$tmp/adapt-b.jsonl" > /dev/null
+cmp -s "$tmp/adapt-a.jsonl" "$tmp/adapt-b.jsonl" || {
+	echo "encore-sfi -adaptive: ledger differs between default pool and -workers 1 -engine ref" >&2
+	exit 1
+}
+grep -q 'adaptive g721encode: executed' "$tmp/adapt-a.txt" || { echo "encore-sfi -adaptive: no adaptive summary line" >&2; exit 1; }
 
 echo "==> smoke: Prometheus exposition passes promlint"
 "$tmp/encore-sfi" -app rawcaudio -trials 5 -prom "$tmp/sfi.prom" > /dev/null
