@@ -1,6 +1,6 @@
 GO ?= go
 FUZZTIME ?= 10s
-BENCH ?= BENCH_pr8.json
+BENCH ?= BENCH_pr10.json
 
 .PHONY: build test bench fuzz-smoke check
 

@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"testing"
@@ -407,10 +408,13 @@ func BenchmarkClosureDispatch(b *testing.B) {
 
 // BenchmarkSFITrialThroughput measures fault-injection throughput in
 // trials per second — each trial is a golden-checked full run with one
-// injected fault — for each execution engine. Campaign results are
-// engine-invariant, so the spread between sub-benchmarks is pure
-// simulator speed: this is the quantity Figure 8's Monte Carlo and the
-// end-to-end SFI campaigns pay for.
+// injected fault — for each execution engine, with the checkpoint
+// ladder off (ckpt0: every trial replays the whole golden prefix) and
+// at the default ladder (ckpt16: trials fork from the deepest snapshot
+// below their injection point). Campaign results are invariant across
+// all of these, so the spread between sub-benchmarks is pure simulator
+// speed: this is the quantity Figure 8's Monte Carlo and the end-to-end
+// SFI campaigns pay for.
 func BenchmarkSFITrialThroughput(b *testing.B) {
 	sp, err := workload.ByName("175.vpr")
 	if err != nil {
@@ -423,16 +427,19 @@ func BenchmarkSFITrialThroughput(b *testing.B) {
 	}
 	const trials = 50
 	for _, engine := range []interp.Engine{interp.EngineFast, interp.EngineRef, interp.EngineClosure} {
-		b.Run(engine.String(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
-					Trials: trials, Seed: uint64(i + 1), Dmax: 100, Engine: engine,
-				}); err != nil {
-					b.Fatal(err)
+		for _, ckpt := range []int{0, 16} {
+			b.Run(fmt.Sprintf("%s/ckpt%d", engine, ckpt), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sfi.RunCampaign(res.Mod, res.Metas, art.Outputs, sfi.CampaignConfig{
+						Trials: trials, Seed: uint64(i + 1), Dmax: 100, Engine: engine,
+						Checkpoints: ckpt,
+					}); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
-		})
+				b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+			})
+		}
 	}
 }
 
@@ -504,4 +511,39 @@ func BenchmarkResetDirtyRange(b *testing.B) {
 		words += m.LastResetWords()
 	}
 	b.ReportMetric(float64(words)/float64(b.N), "words/reset")
+}
+
+// BenchmarkSnapshotRestore measures Machine.Restore from a mid-run
+// snapshot on a deliberately oversized memory image. Like Reset, the
+// cost is proportional to the dirty delta — the words the previous
+// trial touched plus the snapshot's recorded footprint — not to
+// MemWords; the words/restore metric reports that delta.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	sp, err := workload.ByName("rawcaudio")
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := sp.Build()
+	capm := interp.New(art.Mod, interp.Config{MemWords: 1 << 24})
+	if _, err := capm.Run(); err != nil {
+		b.Fatal(err)
+	}
+	_, lad, err := capm.RunWithSnapshots([]int64{capm.Count / 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := lad.Deepest()
+	m := interp.New(art.Mod, interp.Config{MemWords: 1 << 24})
+	if _, err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var words int64
+	for i := 0; i < b.N; i++ {
+		if err := m.Restore(snap); err != nil {
+			b.Fatal(err)
+		}
+		words += m.LastRestoreWords()
+	}
+	b.ReportMetric(float64(words)/float64(b.N), "words/restore")
 }

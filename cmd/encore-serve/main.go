@@ -10,8 +10,8 @@
 //
 //	encore-serve [-addr host:port] [-max-inflight n] [-tenant-inflight n]
 //	             [-retry-after sec] [-workers n] [-engine fast|ref|closure]
-//	             [-drain-timeout dur] [-stats-every n] [-adaptive-ci w]
-//	             [-log-requests] [-pprof]
+//	             [-checkpoints k] [-drain-timeout dur] [-stats-every n]
+//	             [-adaptive-ci w] [-log-requests] [-pprof]
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
 // (use -addr 127.0.0.1:0 for an ephemeral port) and serves the API
@@ -59,6 +59,7 @@ func runServe(argv []string, logw io.Writer, ready chan<- string) error {
 		retryAfter   = fs.Int("retry-after", 1, "Retry-After hint in seconds for 429/503 responses")
 		workers      = fs.Int("workers", 0, "default trial parallelism per campaign (0 = GOMAXPROCS)")
 		engine       = fs.String("engine", "", "default execution engine: fast, ref, or closure")
+		checkpoints  = fs.Int("checkpoints", 16, "default golden-run snapshot rungs for fork-from-checkpoint trials (0 = replay the full prefix)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight campaigns")
 		statsEvery   = fs.Int("stats-every", 0, "default stats-stream cadence in settled trials (0 = built-in default)")
 		adaptiveCI   = fs.Float64("adaptive-ci", 0, "default Wilson half-width target for adaptive campaigns (0 = sfi default; never enables adaptive by itself)")
@@ -75,6 +76,9 @@ func runServe(argv []string, logw io.Writer, ready chan<- string) error {
 	if *adaptiveCI < 0 {
 		return fmt.Errorf("-adaptive-ci %g is negative: the target is a Wilson half-width", *adaptiveCI)
 	}
+	if *checkpoints < 0 {
+		return fmt.Errorf("-checkpoints %d is negative (0 disables the snapshot ladder)", *checkpoints)
+	}
 
 	srv := serve.NewServer(serve.Config{
 		MaxInFlightTrials:       *maxInflight,
@@ -82,6 +86,7 @@ func runServe(argv []string, logw io.Writer, ready chan<- string) error {
 		RetryAfter:              time.Duration(*retryAfter) * time.Second,
 		Workers:                 *workers,
 		Engine:                  eng,
+		Checkpoints:             *checkpoints,
 		StatsEvery:              *statsEvery,
 		AdaptiveCI:              *adaptiveCI,
 		Log:                     logw,

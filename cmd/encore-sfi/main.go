@@ -7,13 +7,21 @@
 // Usage:
 //
 //	encore-sfi [-app name] [-trials n] [-dmax d] [-seed s] [-masking]
-//	           [-workers n] [-engine fast|ref|closure] [-progress]
+//	           [-workers n] [-engine fast|ref|closure] [-checkpoints k]
+//	           [-progress]
 //	           [-shard i/K] [-adaptive] [-adaptive-ci w] [-adaptive-round n]
 //	           [-reuse trace.jsonl]
 //	           [-metrics file|-] [-prom file|-] [-stats file|-]
 //	           [-trace file|-] [-chrometrace file|-]
 //	encore-sfi -report file|- [-json]
 //	encore-sfi -merge [-trace file|-] [-stats file|-] shard1.jsonl shard2.jsonl …
+//
+// -checkpoints k captures k evenly spaced machine snapshots during the
+// golden run (interp.RunWithSnapshots); each trial then restores the
+// deepest snapshot strictly before its injection point and replays only
+// the short delta, instead of re-executing the whole golden prefix from
+// instruction zero. Outcomes, ledgers, and stats are byte-identical at
+// any k (0 disables forking); the knob only moves trial throughput.
 //
 // -progress emits a rate-limited trial counter to stderr while a campaign
 // runs; each line carries the worst-region confidence interval — the
@@ -71,6 +79,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"encore/internal/attrib"
@@ -107,6 +116,7 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		seed        = fs.Uint64("seed", 1, "PRNG seed")
 		masking     = fs.Bool("masking", false, "also run the raw-strike masking study")
 		workers     = fs.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS; clamped to the trial count)")
+		checkpoints = fs.Int("checkpoints", 16, "golden-run snapshot rungs for fork-from-checkpoint trials (0 = replay the full prefix)")
 		engine      = fs.String("engine", "", "trial execution engine: fast, ref, or closure (outcomes are engine-invariant)")
 		progress    = fs.Bool("progress", false, "report per-campaign trial progress on stderr")
 		metrics     = fs.String("metrics", "", "write the observability snapshot as JSON to this file (- = stdout)")
@@ -128,6 +138,9 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 	}
 	if *dmax < 0 {
 		return fmt.Errorf("-dmax %d is negative: detection latency is sampled uniformly from [0, dmax]", *dmax)
+	}
+	if *checkpoints < 0 {
+		return fmt.Errorf("-checkpoints %d is negative (0 disables the snapshot ladder)", *checkpoints)
 	}
 	eng, err := interp.ParseEngine(*engine)
 	if err != nil {
@@ -269,17 +282,32 @@ func runSFI(argv []string, stdout, stderr io.Writer) error {
 		var est *stats.Estimator
 		if *statsPath != "" || *progress {
 			est = stats.New()
+		}
+		if prog != nil {
+			// The note pairs the estimator's convergence signal with this
+			// campaign's fork-from-checkpoint savings. The registry's
+			// sfi.restore.* counters are cumulative across campaigns,
+			// hence the per-campaign baselines.
+			restores := reg.Counter("sfi.restore.count")
+			saved := reg.Counter("sfi.restore.saved_instrs")
+			baseRestores, baseSaved := restores.Value(), saved.Value()
 			prog.SetNote(func() string {
-				id, half := est.WorstCI()
-				if id < 0 {
-					return ""
+				var parts []string
+				if est != nil {
+					if id, half := est.WorstCI(); id >= 0 {
+						parts = append(parts, fmt.Sprintf("worst-ci r%d ±%.3f", id, half))
+					}
 				}
-				return fmt.Sprintf("worst-ci r%d ±%.3f", id, half)
+				if n := restores.Value() - baseRestores; n > 0 {
+					parts = append(parts, fmt.Sprintf("forked %d (saved %dM instr)",
+						n, (saved.Value()-baseSaved)/1e6))
+				}
+				return strings.Join(parts, ", ")
 			})
 		}
 		campCfg := sfi.CampaignConfig{
 			Trials: *trials, Seed: *seed, Dmax: *dmax, Workers: *workers,
-			Engine: eng, Obs: reg, Progress: prog,
+			Engine: eng, Obs: reg, Progress: prog, Checkpoints: *checkpoints,
 			App: sp.Name, Regions: serve.RegionTable(res, *dmax), Trace: sink,
 			Shard: shard, Stop: stop, Prior: priors[sp.Name],
 		}

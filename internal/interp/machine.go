@@ -229,7 +229,26 @@ type Machine struct {
 
 	// lastResetWords records how many memory words the most recent Reset
 	// actually cleared — observability for the dirty-range tests.
-	lastResetWords int64
+	// lastRestoreWords is the same for the most recent Restore.
+	lastResetWords   int64
+	lastRestoreWords int64
+
+	// Checkpoint-ladder state (snapshot.go): snapRungs holds the pending
+	// capture points of an active RunWithSnapshots pass (ascending dynamic
+	// instruction counts, consumed as they are reached), snapLadder
+	// collects the captured snapshots, and resumePC/resumeReady carry the
+	// continuation point a Restore installs for Resume.
+	snapRungs   []int64
+	snapLadder  *Ladder
+	resumePC    int32
+	resumeReady bool
+
+	// obsBias subtracts a restored snapshot's accumulated counters from
+	// the next obs flush: the prefix behind a Restore was never executed
+	// by this machine, so the registry only accrues real dispatch work.
+	obsBias struct {
+		count, base, ckptReg, ckptMem, regionEntries int64
+	}
 
 	// HandoffsToRef counts fast→reference engine handoffs (fault events
 	// and mid-fault symptom traps); HandoffsToFast counts the reference
@@ -257,6 +276,7 @@ type obsSink struct {
 	blockExecs    *obs.Counter
 	edgeExecs     *obs.Counter
 	resetWords    *obs.Histogram
+	restoreWords  *obs.Histogram
 }
 
 // AttachObs connects the machine to reg: from now on every Reset and the
@@ -286,6 +306,7 @@ func (m *Machine) AttachObs(reg *obs.Registry) {
 		blockExecs:    reg.Counter("interp.profile.block_execs"),
 		edgeExecs:     reg.Counter("interp.profile.edge_execs"),
 		resetWords:    reg.Histogram("interp.reset.words"),
+		restoreWords:  reg.Histogram("interp.restore.words"),
 	}
 }
 
@@ -297,11 +318,11 @@ func (m *Machine) flushObs() {
 	if s == nil {
 		return
 	}
-	s.instrs.Add(m.Count)
-	s.base.Add(m.BaseCount)
-	s.ckptReg.Add(m.CkptRegBytes)
-	s.ckptMem.Add(m.CkptMemBytes)
-	s.regionEntries.Add(m.RegionEntries)
+	s.instrs.Add(m.Count - m.obsBias.count)
+	s.base.Add(m.BaseCount - m.obsBias.base)
+	s.ckptReg.Add(m.CkptRegBytes - m.obsBias.ckptReg)
+	s.ckptMem.Add(m.CkptMemBytes - m.obsBias.ckptMem)
+	s.regionEntries.Add(m.RegionEntries - m.obsBias.regionEntries)
 	s.toRef.Add(m.HandoffsToRef)
 	s.toFast.Add(m.HandoffsToFast)
 	m.HandoffsToRef, m.HandoffsToFast = 0, 0
@@ -474,6 +495,10 @@ func (m *Machine) Reset() {
 	m.MaxBufferBytes = 0
 	m.HandoffsToRef, m.HandoffsToFast = 0, 0
 	m.instanceSeq = 0
+	m.obsBias.count, m.obsBias.base = 0, 0
+	m.obsBias.ckptReg, m.obsBias.ckptMem, m.obsBias.regionEntries = 0, 0, 0
+	m.snapRungs, m.snapLadder = nil, nil
+	m.resumeReady = false
 	m.frames = m.frames[:0]
 	m.sp = m.Cfg.MemWords - m.Cfg.StackWords
 	m.stackTop = m.Cfg.MemWords

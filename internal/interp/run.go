@@ -162,21 +162,15 @@ func (m *Machine) loopFast() (int64, error) {
 	return m.loopFastFrom(len(m.frames)-1, pc)
 }
 
-// loopFastFrom runs the fast loop from an arbitrary pc with an explicit
-// base frame depth — the entry point both for fresh calls and for the
-// reference loop handing control back after a fault settles.
-func (m *Machine) loopFastFrom(baseDepth int, pc int32) (int64, error) {
-	p := m.program()
-	code := p.code
-	mem := m.Mem
-	budget := m.Cfg.MaxInstrs
-	// stop is where the fast loop must stop dispatching and hand off to
-	// the reference loop: the instruction budget, tightened to the next
-	// pending fault event. Before injection that is InjectAt-1 (covering
-	// both the between-instruction register-file strike at InjectAt and
-	// the post-instruction output corruption of the first instruction
-	// retiring at InjectAt); after injection it is the scheduled
-	// detection point. A settled fault (detected) has no pending events.
+// fastStop computes where the fast loop must pause dispatching: the
+// instruction budget, tightened to the next pending fault event (before
+// injection that is InjectAt-1, covering both the between-instruction
+// register-file strike at InjectAt and the post-instruction output
+// corruption of the first instruction retiring at InjectAt; after
+// injection it is the scheduled detection point — a settled fault has no
+// pending events), and tightened again to the next checkpoint-capture
+// rung when a RunWithSnapshots pass is active.
+func (m *Machine) fastStop(budget int64) int64 {
 	stop := budget
 	if m.fault != nil {
 		switch {
@@ -190,6 +184,25 @@ func (m *Machine) loopFastFrom(baseDepth int, pc int32) (int64, error) {
 			}
 		}
 	}
+	if len(m.snapRungs) > 0 && m.snapRungs[0] < stop {
+		stop = m.snapRungs[0]
+	}
+	return stop
+}
+
+// loopFastFrom runs the fast loop from an arbitrary pc with an explicit
+// base frame depth — the entry point both for fresh calls and for the
+// reference loop handing control back after a fault settles.
+func (m *Machine) loopFastFrom(baseDepth int, pc int32) (int64, error) {
+	p := m.program()
+	code := p.code
+	mem := m.Mem
+	budget := m.Cfg.MaxInstrs
+	// stop is where the fast loop must stop dispatching: the instruction
+	// budget, tightened to the next pending fault event (handing off to
+	// the reference loop) or, during a RunWithSnapshots capture pass, the
+	// next checkpoint rung.
+	stop := m.fastStop(budget)
 	fr := &m.frames[len(m.frames)-1]
 	regs := fr.regs
 	// base (BaseCount) is derived, not carried: it diverges from count
@@ -215,6 +228,15 @@ func (m *Machine) loopFastFrom(baseDepth int, pc int32) (int64, error) {
 			if count >= budget {
 				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
 				return 0, m.trap(ErrBudget, "in %s at pc %d", fr.fn.Name, pc)
+			}
+			// Checkpoint rung reached (RunWithSnapshots capture pass):
+			// sync the shadow state into the machine, freeze it into the
+			// ladder, and keep dispatching toward the next rung.
+			if len(m.snapRungs) > 0 && count >= m.snapRungs[0] {
+				m.fastFlush(p, count, count-ovh, dLo, dHi, sLo, sHi)
+				m.captureSnapshot(pc)
+				stop = m.fastStop(budget)
+				continue
 			}
 			// Fault event (injection window or scheduled detection)
 			// reached: flush shadow state, convert the fast-path return

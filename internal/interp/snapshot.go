@@ -1,0 +1,486 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"encore/internal/ir"
+)
+
+// This file implements checkpoint capture and fork-from-snapshot
+// execution: a golden run records a ladder of full-fidelity machine
+// snapshots in one pass (RunWithSnapshots), and later runs restore the
+// nearest snapshot below their point of interest instead of re-executing
+// the whole prefix (Restore + Resume). SFI campaigns use it to eliminate
+// golden-prefix replay from every trial (internal/sfi).
+//
+// Snapshots capture engine-invariant machine state only — memory as
+// dirty-range deltas against the pristine zero image, the frame stack in
+// fast form, counters, region buffers, profile — so a snapshot taken by
+// the fast loop restores onto a machine running any of the three engines.
+
+// savedRegion is the frozen form of one frame's live checkpoint buffer.
+// Region metadata is recorded by ID (not pointer) so a snapshot restores
+// onto any machine registered with the same SetRuntime table.
+type savedRegion struct {
+	id         int // RegionMeta.ID, or -1 when the live buffer had no meta
+	entries    []ckptEntry
+	bytes      int64
+	instance   int64
+	frame      int
+	entryCount int64
+}
+
+// savedFrame is the frozen form of one activation record. Return points
+// are kept in fast form (retPC/retDst); Restore rebuilds reference-form
+// return points lazily via framesToRef only if a handoff needs them.
+type savedFrame struct {
+	fn     *ir.Func
+	regs   []int64
+	fp     int64
+	retPC  int32
+	retDst int32
+	region *savedRegion
+}
+
+// Snapshot is a full-fidelity capture of a quiescent machine mid-run:
+// everything Restore needs to put an idle machine back into exactly this
+// state, independent of which engine resumes it. Memory is stored as the
+// dirty-range deltas against the pristine zero image (the same watermarks
+// the dirty-range Reset uses), so snapshot size scales with the run's
+// footprint at the capture point, not Cfg.MemWords.
+type Snapshot struct {
+	prog *Program // identity check: snapshots restore within one module
+
+	memWords, stackWords int64
+	pc                   int32
+
+	count, baseCount           int64
+	ckptRegBytes, ckptMemBytes int64
+	regionEntries              int64
+	maxBufferBytes             int64
+	instanceSeq                int64
+	sp                         int64
+
+	// Dirty-range memory deltas. lo/hi are the raw inclusive watermarks at
+	// capture (hi < lo = range untouched); data/stk hold Mem[lo:hi+1].
+	dataLo, dataHi int64
+	data           []int64
+	stkLo, stkHi   int64
+	stk            []int64
+
+	frames []savedFrame
+	output []int64
+	prof   *Profile // deep copy; nil when the capture run was unprofiled
+}
+
+// Count reports the dynamic instruction count at the capture point: the
+// number of instructions already retired when execution resumes from this
+// snapshot.
+func (s *Snapshot) Count() int64 { return s.count }
+
+// Ladder is an ascending sequence of snapshots captured on one golden
+// run, plus the run's total dynamic length.
+type Ladder struct {
+	snaps []*Snapshot
+	total int64
+}
+
+// Len reports how many snapshots the ladder holds.
+func (l *Ladder) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.snaps)
+}
+
+// Snapshots returns the ladder's snapshots in ascending capture order.
+// The returned slice is shared; callers must not mutate it.
+func (l *Ladder) Snapshots() []*Snapshot {
+	if l == nil {
+		return nil
+	}
+	return l.snaps
+}
+
+// GoldenInstrs reports the capture run's total dynamic instruction count.
+func (l *Ladder) GoldenInstrs() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total
+}
+
+// Best returns the deepest snapshot that is strictly before injectAt —
+// resuming from it retires instruction counts snap.Count()+1, ... so every
+// fault event at or after injectAt (between-instruction strikes at
+// InjectAt and post-instruction corruptions of the instruction retiring at
+// InjectAt alike) still lies ahead. Returns nil (run from scratch) when
+// the ladder is nil, empty, or every snapshot is at or past injectAt.
+func (l *Ladder) Best(injectAt int64) *Snapshot {
+	if l == nil {
+		return nil
+	}
+	var best *Snapshot
+	for _, s := range l.snaps {
+		if s.count >= injectAt {
+			break
+		}
+		best = s
+	}
+	return best
+}
+
+// Deepest returns the ladder's last (highest-count) snapshot, or nil for
+// an empty ladder. Pools use it to warm-start fresh machines.
+func (l *Ladder) Deepest() *Snapshot {
+	if l == nil || len(l.snaps) == 0 {
+		return nil
+	}
+	return l.snaps[len(l.snaps)-1]
+}
+
+// LadderRungs returns k evenly spaced capture points for a run of the
+// given total dynamic length: rung i sits at i·total/(k+1), so the rungs
+// split the run into k+1 equal spans and the deepest rung leaves one span
+// of real execution before the end. Degenerate rungs (non-positive, or
+// colliding after integer division on tiny runs) are dropped.
+func LadderRungs(k int, total int64) []int64 {
+	if k <= 0 || total <= 0 {
+		return nil
+	}
+	rungs := make([]int64, 0, k)
+	for i := 1; i <= k; i++ {
+		r := int64(i) * total / int64(k+1)
+		if r <= 0 {
+			continue
+		}
+		if n := len(rungs); n > 0 && rungs[n-1] == r {
+			continue
+		}
+		rungs = append(rungs, r)
+	}
+	return rungs
+}
+
+// RunWithSnapshots executes main from a fresh Reset, capturing a snapshot
+// at each requested rung (dynamic instruction counts, deduplicated and
+// sorted internally) in a single pass, and returns the run's result with
+// the captured ladder. The capture pass always runs on the fast loop —
+// snapshots hold only engine-invariant state, so they restore onto
+// machines using any engine. Hooks and custom externs are rejected: a
+// hook needs the reference loop, and an extern that re-enters Call leaves
+// intermediate frames without fast-form return points, making a flat
+// capture unsound.
+func (m *Machine) RunWithSnapshots(rungs []int64) (int64, *Ladder, error) {
+	if m.Cfg.Hook != nil {
+		return 0, nil, fmt.Errorf("interp: RunWithSnapshots does not support hooks")
+	}
+	if m.Cfg.Externs != nil {
+		return 0, nil, fmt.Errorf("interp: RunWithSnapshots does not support custom externs")
+	}
+	main := m.Mod.FuncByName("main")
+	if main == nil {
+		return 0, nil, ErrNoMain
+	}
+	m.Reset()
+	norm := make([]int64, 0, len(rungs))
+	for _, r := range rungs {
+		if r > 0 {
+			norm = append(norm, r)
+		}
+	}
+	sort.Slice(norm, func(i, j int) bool { return norm[i] < norm[j] })
+	w := 0
+	for _, r := range norm {
+		if w == 0 || norm[w-1] != r {
+			norm[w] = r
+			w++
+		}
+	}
+	norm = norm[:w]
+
+	lad := &Ladder{snaps: make([]*Snapshot, 0, len(norm))}
+	m.snapRungs, m.snapLadder = norm, lad
+	defer func() { m.snapRungs, m.snapLadder = nil, nil }()
+
+	if err := m.pushFrame(main, nil); err != nil {
+		return 0, nil, err
+	}
+	p := m.program()
+	pc, ok := p.entry[main]
+	if !ok {
+		m.popFrame()
+		return 0, nil, m.trap(ErrNoMain, "function %s has no body", main.Name)
+	}
+	ret, err := m.loopFastFrom(0, pc)
+	if err != nil {
+		return 0, nil, err
+	}
+	lad.total = m.Count
+	return ret, lad, nil
+}
+
+// captureSnapshot freezes the machine at pc into the active ladder and
+// consumes every rung the run has now reached. Called by the fast loop
+// immediately after a fastFlush, so the machine fields (counters, dirty
+// watermarks, merged profile) are authoritative.
+func (m *Machine) captureSnapshot(pc int32) {
+	m.snapLadder.snaps = append(m.snapLadder.snaps, m.snapshot(pc))
+	for len(m.snapRungs) > 0 && m.snapRungs[0] <= m.Count {
+		m.snapRungs = m.snapRungs[1:]
+	}
+}
+
+// snapshot deep-copies the machine's current state.
+func (m *Machine) snapshot(pc int32) *Snapshot {
+	s := &Snapshot{
+		prog:           m.program(),
+		memWords:       m.Cfg.MemWords,
+		stackWords:     m.Cfg.StackWords,
+		pc:             pc,
+		count:          m.Count,
+		baseCount:      m.BaseCount,
+		ckptRegBytes:   m.CkptRegBytes,
+		ckptMemBytes:   m.CkptMemBytes,
+		regionEntries:  m.RegionEntries,
+		maxBufferBytes: m.MaxBufferBytes,
+		instanceSeq:    m.instanceSeq,
+		sp:             m.sp,
+		dataLo:         m.dirtyLo,
+		dataHi:         m.dirtyHi,
+		stkLo:          m.dirtyStkLo,
+		stkHi:          m.dirtyStkHi,
+		output:         append([]int64(nil), m.output...),
+	}
+	if s.dataHi >= s.dataLo {
+		s.data = append([]int64(nil), m.Mem[s.dataLo:s.dataHi+1]...)
+	}
+	if s.stkHi >= s.stkLo {
+		s.stk = append([]int64(nil), m.Mem[s.stkLo:s.stkHi+1]...)
+	}
+	s.frames = make([]savedFrame, len(m.frames))
+	for i := range m.frames {
+		fr := &m.frames[i]
+		sf := &s.frames[i]
+		sf.fn = fr.fn
+		sf.regs = append([]int64(nil), fr.regs...)
+		sf.fp = fr.fp
+		sf.retPC, sf.retDst = fr.retPC, fr.retDst
+		if rs := fr.region; rs != nil {
+			sr := &savedRegion{
+				id:         -1,
+				entries:    append([]ckptEntry(nil), rs.entries...),
+				bytes:      rs.bytes,
+				instance:   rs.instance,
+				frame:      rs.frame,
+				entryCount: rs.entryCount,
+			}
+			if rs.meta != nil {
+				sr.id = rs.meta.ID
+			}
+			sf.region = sr
+		}
+	}
+	if m.Prof != nil {
+		prof := &Profile{
+			Block: make(map[*ir.Block]int64, len(m.Prof.Block)),
+			Edge:  make(map[*ir.Block][]int64, len(m.Prof.Edge)),
+		}
+		for b, c := range m.Prof.Block {
+			prof.Block[b] = c
+		}
+		for b, e := range m.Prof.Edge {
+			prof.Edge[b] = append([]int64(nil), e...)
+		}
+		s.prof = prof
+	}
+	return s
+}
+
+// Restore rewinds the machine to a snapshot's exact state: counters,
+// frame stack, region buffers, output, profile, and memory — the
+// machine's current dirty ranges are re-zeroed (the Reset dirty-range
+// machinery) and the snapshot's deltas overlaid, so restore cost scales
+// with the two footprints rather than Cfg.MemWords. The snapshot must
+// come from the same module, with matching memory geometry and region
+// table. After a successful Restore the machine accepts InjectFault and
+// must be continued with Resume (not Run, which would push a fresh main
+// frame).
+func (m *Machine) Restore(s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("interp: Restore of a nil snapshot")
+	}
+	if s.prog.mod != m.Mod {
+		return fmt.Errorf("interp: snapshot from a different module")
+	}
+	if m.Cfg.MemWords != s.memWords || m.Cfg.StackWords != s.stackWords {
+		return fmt.Errorf("interp: snapshot memory geometry %d/%d does not match machine %d/%d",
+			s.memWords, s.stackWords, m.Cfg.MemWords, m.Cfg.StackWords)
+	}
+	if m.Cfg.Profile && s.prof == nil {
+		return fmt.Errorf("interp: profiled machine cannot restore an unprofiled snapshot")
+	}
+	for i := range s.frames {
+		if sr := s.frames[i].region; sr != nil && sr.id >= 0 {
+			if m.regions[sr.id] == nil {
+				return fmt.Errorf("interp: snapshot references region %d missing from the machine's runtime table", sr.id)
+			}
+		}
+	}
+
+	// Restore is a metrics boundary, exactly like Reset: fold the finished
+	// run's counters into the attached registry before overwriting them.
+	m.flushObs()
+
+	switch {
+	case m.Mem == nil || int64(len(m.Mem)) != m.Cfg.MemWords:
+		m.Mem = grabMem(m.Cfg.MemWords)
+		m.lastRestoreWords = 0
+	case m.Cfg.Externs != nil:
+		clear(m.Mem)
+		m.lastRestoreWords = int64(len(m.Mem))
+	default:
+		m.lastRestoreWords = m.clearDirty(m.dirtyLo, m.dirtyHi) +
+			m.clearDirty(m.dirtyStkLo, m.dirtyStkHi)
+	}
+	m.stackBase = m.Cfg.MemWords - m.Cfg.StackWords
+	if s.data != nil {
+		copy(m.Mem[s.dataLo:s.dataLo+int64(len(s.data))], s.data)
+	}
+	if s.stk != nil {
+		copy(m.Mem[s.stkLo:s.stkLo+int64(len(s.stk))], s.stk)
+	}
+	m.dirtyLo, m.dirtyHi = s.dataLo, s.dataHi
+	m.dirtyStkLo, m.dirtyStkHi = s.stkLo, s.stkHi
+
+	// Drop the machine's current frames, recycling checkpoint buffers, and
+	// rebuild the snapshot's stack reusing the backing array and register
+	// slices just like newFrame does.
+	for i := range m.frames {
+		if m.frames[i].region != nil {
+			m.freeRegion(m.frames[i].region)
+			m.frames[i].region = nil
+		}
+	}
+	m.frames = m.frames[:0]
+	for i := range s.frames {
+		sf := &s.frames[i]
+		var fr *frame
+		if len(m.frames) < cap(m.frames) {
+			m.frames = m.frames[:len(m.frames)+1]
+			fr = &m.frames[len(m.frames)-1]
+			if cap(fr.regs) >= len(sf.regs) {
+				fr.regs = fr.regs[:len(sf.regs)]
+			} else {
+				fr.regs = make([]int64, len(sf.regs))
+			}
+		} else {
+			m.frames = append(m.frames, frame{regs: make([]int64, len(sf.regs))})
+			fr = &m.frames[len(m.frames)-1]
+		}
+		copy(fr.regs, sf.regs)
+		fr.fn = sf.fn
+		fr.fp = sf.fp
+		fr.retTo.b, fr.retTo.idx, fr.retTo.dst = nil, 0, ir.NoReg
+		fr.retPC, fr.retDst = sf.retPC, sf.retDst
+		fr.region = nil
+		if sr := sf.region; sr != nil {
+			rs := m.allocRegion()
+			rs.meta = nil
+			if sr.id >= 0 {
+				rs.meta = m.regions[sr.id]
+			}
+			rs.entries = append(rs.entries[:0], sr.entries...)
+			rs.bytes = sr.bytes
+			rs.instance = sr.instance
+			rs.frame = sr.frame
+			rs.entryCount = sr.entryCount
+			fr.region = rs
+		}
+	}
+	m.sp = s.sp
+	m.stackTop = m.Cfg.MemWords
+
+	m.Count, m.BaseCount = s.count, s.baseCount
+	m.CkptRegBytes, m.CkptMemBytes = s.ckptRegBytes, s.ckptMemBytes
+	m.RegionEntries = s.regionEntries
+	m.MaxBufferBytes = s.maxBufferBytes
+	m.instanceSeq = s.instanceSeq
+	m.HandoffsToRef, m.HandoffsToFast = 0, 0
+	// The restored prefix was never executed by this machine: bias the
+	// obs-flush so the attached registry only accrues instructions the
+	// machine actually dispatches.
+	m.obsBias.count, m.obsBias.base = s.count, s.baseCount
+	m.obsBias.ckptReg, m.obsBias.ckptMem = s.ckptRegBytes, s.ckptMemBytes
+	m.obsBias.regionEntries = s.regionEntries
+	m.fault = nil
+	m.output = append(m.output[:0], s.output...)
+	if m.Cfg.Profile {
+		prof := &Profile{
+			Block: make(map[*ir.Block]int64, len(s.prof.Block)),
+			Edge:  make(map[*ir.Block][]int64, len(s.prof.Edge)),
+		}
+		for b, c := range s.prof.Block {
+			prof.Block[b] = c
+		}
+		for b, e := range s.prof.Edge {
+			prof.Edge[b] = append([]int64(nil), e...)
+		}
+		m.Prof = prof
+	}
+	if m.pBlocks != nil {
+		clear(m.pBlocks)
+		clear(m.pEdges)
+	}
+	if m.obsSink != nil {
+		m.obsSink.restoreWords.Observe(m.lastRestoreWords)
+	}
+	m.resumePC, m.resumeReady = s.pc, true
+	return nil
+}
+
+// LastRestoreWords reports how many memory words the most recent Restore
+// cleared before overlaying the snapshot's deltas — observability for the
+// dirty-range restore path (a value far below Cfg.MemWords means the
+// watermarks are doing their job).
+func (m *Machine) LastRestoreWords() int64 { return m.lastRestoreWords }
+
+// Resume continues execution from the state installed by the last
+// Restore, dispatching exactly as Call would: the reference loop for
+// hooks/EngineRef/mid-fault machines, otherwise the configured quiescent
+// engine (which still pauses at a pending fault event and hands off). An
+// InjectFault between Restore and Resume is the fork-from-snapshot trial
+// pattern: the fault plan's InjectAt must lie beyond the snapshot's
+// Count, which Ladder.Best guarantees.
+func (m *Machine) Resume() (int64, error) {
+	if !m.resumeReady {
+		return 0, fmt.Errorf("interp: Resume without a preceding Restore")
+	}
+	m.resumeReady = false
+	pc := m.resumePC
+	p := m.program()
+	if m.Cfg.Hook != nil || m.Cfg.Reference || m.Cfg.Engine == EngineRef ||
+		(m.fault != nil && m.fault.injected && !m.fault.detected) {
+		m.framesToRef(p, 0)
+		// The snapshot's profile uses the fast convention: a block counts
+		// when its terminator retires, so every live frame's in-flight
+		// block is still uncounted. The reference loop counts blocks on
+		// entry instead — it credits the top frame's block itself when it
+		// starts, but returns into parked caller frames mid-block without
+		// recounting, so their in-flight blocks must be credited here to
+		// match a from-scratch reference run.
+		if m.Prof != nil {
+			for d := 0; d < len(m.frames)-1; d++ {
+				rb, _ := p.refPos(m.frames[d].retPC)
+				m.Prof.Block[rb]++
+			}
+		}
+		b, idx := p.refPos(pc)
+		return m.loopRefFrom(0, b, idx)
+	}
+	if m.Cfg.Engine == EngineClosure {
+		return m.loopClosureFrom(0, pc)
+	}
+	return m.loopFastFrom(0, pc)
+}

@@ -1,0 +1,166 @@
+package interp_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"encore/internal/core"
+	"encore/internal/interp"
+	"encore/internal/workload"
+)
+
+// snapshotWorkloads keeps the restore-equivalence sweep affordable; the
+// progen fuzz oracle covers generated programs beyond these.
+var snapshotWorkloads = []string{"rawcaudio", "175.vpr", "g721encode"}
+
+// TestSnapshotRestoreEquivalence is the fork-from-snapshot oracle on real
+// workloads: a ladder captured once on the golden run, restored onto a
+// fresh machine of each engine, must resume into exactly the observable
+// outcome of running that engine from scratch — return value, counters,
+// checksum, checkpoint accounting, and the merged execution profile.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	for _, name := range snapshotWorkloads {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sp, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art := sp.Build()
+			res, err := core.Compile(art.Mod, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			capm := interp.New(res.Mod, interp.Config{Profile: true})
+			defer capm.Release()
+			capm.SetRuntime(res.Metas)
+			if _, err := capm.Run(); err != nil {
+				t.Fatal(err)
+			}
+			total := capm.Count
+			_, lad, err := capm.RunWithSnapshots(interp.LadderRungs(4, total))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lad.Len() == 0 {
+				t.Fatalf("no snapshots captured for a %d-instruction run", total)
+			}
+
+			for _, e := range []interp.Engine{interp.EngineRef, interp.EngineFast, interp.EngineClosure} {
+				full := interp.New(res.Mod, interp.Config{Profile: true, Engine: e})
+				defer full.Release()
+				full.SetRuntime(res.Metas)
+				fret, ferr := full.Run()
+				ref := engineRun{engine: e, m: full, ret: fret, err: ferr}
+
+				m := interp.New(res.Mod, interp.Config{Profile: true, Engine: e})
+				defer m.Release()
+				m.SetRuntime(res.Metas)
+				for i, snap := range lad.Snapshots() {
+					if err := m.Restore(snap); err != nil {
+						t.Fatalf("restore snap %d on %s: %v", i, e, err)
+					}
+					rret, rerr := m.Resume()
+					diffRuns(t, "restored", ref, engineRun{engine: e, m: m, ret: rret, err: rerr}, art.Outputs)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreFaulted checks the trial pattern itself: restoring
+// the deepest snapshot below InjectAt, arming the fault, and resuming
+// must produce the same fault report, outcome, and final state as the
+// Reset-and-replay-everything trial — on every engine, across fault
+// modes, including rollback bookkeeping (SameInstance, RollbackDistance)
+// that depends on snapshot-exact instance sequencing.
+func TestSnapshotRestoreFaulted(t *testing.T) {
+	for _, name := range snapshotWorkloads {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sp, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art := sp.Build()
+			res, err := core.Compile(art.Mod, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			capm := interp.New(res.Mod, interp.Config{})
+			defer capm.Release()
+			capm.SetRuntime(res.Metas)
+			if _, err := capm.Run(); err != nil {
+				t.Fatal(err)
+			}
+			total := capm.Count
+			_, lad, err := capm.RunWithSnapshots(interp.LadderRungs(4, total))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for _, e := range []interp.Engine{interp.EngineRef, interp.EngineFast, interp.EngineClosure} {
+				full := interp.New(res.Mod, interp.Config{Engine: e})
+				defer full.Release()
+				full.SetRuntime(res.Metas)
+				fork := interp.New(res.Mod, interp.Config{Engine: e})
+				defer fork.Release()
+				fork.SetRuntime(res.Metas)
+
+				for i := int64(1); i <= 6; i++ {
+					at := i * total / 7
+					plan := interp.FaultPlan{
+						Mode:          interp.FaultMode(i % 3),
+						InjectAt:      at,
+						Bit:           uint8((at*11 + 5) % 48),
+						TargetReg:     int(i),
+						DetectLatency: at % 9,
+					}
+					full.Reset()
+					full.InjectFault(plan)
+					fret, ferr := full.Run()
+					frep, fsum := full.FaultReport(), full.Checksum(art.Outputs...)
+
+					snap := lad.Best(at)
+					if snap == nil {
+						continue // inject point before the first rung: no fork possible
+					}
+					if err := fork.Restore(snap); err != nil {
+						t.Fatalf("restore for inject@%d on %s: %v", at, e, err)
+					}
+					fork.InjectFault(plan)
+					rret, rerr := fork.Resume()
+					rrep, rsum := fork.FaultReport(), fork.Checksum(art.Outputs...)
+
+					if (ferr == nil) != (rerr == nil) || !errors.Is(rerr, errClass(ferr)) && ferr != nil {
+						t.Errorf("%s inject@%d: error mismatch: full=%v fork=%v", e, at, ferr, rerr)
+					}
+					if fret != rret || fsum != rsum || full.Count != fork.Count {
+						t.Errorf("%s inject@%d: outcome mismatch: ret %d/%d sum %#x/%#x count %d/%d",
+							e, at, fret, rret, fsum, rsum, full.Count, fork.Count)
+					}
+					if !reflect.DeepEqual(frep, rrep) {
+						t.Errorf("%s inject@%d: fault report mismatch:\nfull: %+v\nfork: %+v", e, at, frep, rrep)
+					}
+				}
+			}
+		})
+	}
+}
+
+// errClass maps an error to its sentinel trap class for errors.Is
+// comparisons (nil-safe).
+func errClass(err error) error {
+	for _, s := range sentinels {
+		if errors.Is(err, s) {
+			return s
+		}
+	}
+	if errors.Is(err, interp.ErrDetectedUnrecoverable) {
+		return interp.ErrDetectedUnrecoverable
+	}
+	return err
+}

@@ -272,7 +272,10 @@ func CheckEngines(p Params) error {
 	if err := diffEngines(p, res.Mod, res.Metas, "instrumented"); err != nil {
 		return err
 	}
-	return diffFaultedEngines(p, res)
+	if err := diffFaultedEngines(p, res); err != nil {
+		return err
+	}
+	return diffSnapshotRestore(p, res)
 }
 
 // diffEngines runs mod through the reference loop and each quiescent
@@ -399,6 +402,102 @@ func diffFaultedEngines(p Params, res *core.Result) error {
 		}
 		if fs, cs := fast.Checksum(res.Mod.Globals...), clos.Checksum(res.Mod.Globals...); fs != cs {
 			return fail(fmt.Sprintf("checksum: fast=%#x closure=%#x", fs, cs))
+		}
+	}
+	return nil
+}
+
+// diffSnapshotRestore is the fork-from-checkpoint oracle: a snapshot
+// ladder captured during the instrumented golden run, restored onto a
+// machine of each engine, must resume into exactly the from-scratch
+// trajectory — fault-free from every rung, and with the same fault
+// reports when a trial is armed after the restore. This locks the
+// invariant the SFI campaign scheduler builds on.
+func diffSnapshotRestore(p Params, res *core.Result) error {
+	capm := interp.New(res.Mod, interp.Config{MaxInstrs: oracleBudget})
+	defer capm.Release()
+	capm.SetRuntime(res.Metas)
+	if _, err := capm.Run(); err != nil {
+		return nil // fault-free failures are diffEngines's to report
+	}
+	total := capm.Count
+	if total < minDynInstrs {
+		return nil
+	}
+	_, lad, err := capm.RunWithSnapshots(interp.LadderRungs(5, total))
+	if err != nil {
+		return &Counterexample{Oracle: "snapshot", Params: p, Detail: err.Error(), IR: res.Mod.String()}
+	}
+
+	for _, e := range []interp.Engine{interp.EngineRef, interp.EngineFast, interp.EngineClosure} {
+		fail := func(detail string) error {
+			return &Counterexample{Oracle: "snapshot", Params: p,
+				Detail: fmt.Sprintf("engine %v: %s", e, detail), IR: res.Mod.String()}
+		}
+		full := interp.New(res.Mod, interp.Config{MaxInstrs: oracleBudget, Engine: e})
+		defer full.Release()
+		full.SetRuntime(res.Metas)
+		fret, ferr := full.Run()
+		fsum := full.Checksum(res.Mod.Globals...)
+
+		fork := interp.New(res.Mod, interp.Config{MaxInstrs: oracleBudget, Engine: e})
+		defer fork.Release()
+		fork.SetRuntime(res.Metas)
+		for i, snap := range lad.Snapshots() {
+			if err := fork.Restore(snap); err != nil {
+				return fail(fmt.Sprintf("restore rung %d: %v", i, err))
+			}
+			rret, rerr := fork.Resume()
+			if (ferr == nil) != (rerr == nil) {
+				return fail(fmt.Sprintf("rung %d errors: full=%v fork=%v", i, ferr, rerr))
+			}
+			if rret != fret || fork.Count != full.Count || fork.BaseCount != full.BaseCount {
+				return fail(fmt.Sprintf("rung %d: ret %d/%d count (%d,%d)/(%d,%d)",
+					i, rret, fret, fork.Count, fork.BaseCount, full.Count, full.BaseCount))
+			}
+			if rs := fork.Checksum(res.Mod.Globals...); rs != fsum {
+				return fail(fmt.Sprintf("rung %d checksum: %#x vs %#x", i, rs, fsum))
+			}
+		}
+
+		// Faulted forks: restore below the injection point, arm, resume;
+		// the trajectory must match a Reset-and-replay trial exactly.
+		for i := int64(1); i <= 3; i++ {
+			at := i * total / 4
+			snap := lad.Best(at)
+			if snap == nil {
+				continue
+			}
+			plan := interp.FaultPlan{
+				Mode:          interp.CorruptOutput,
+				InjectAt:      at,
+				Bit:           uint8((uint64(at)*13 + p.Seed) % 48),
+				DetectLatency: at % 5,
+			}
+			full.Reset()
+			full.InjectFault(plan)
+			tret, terr := full.Run()
+			if err := fork.Restore(snap); err != nil {
+				return fail(fmt.Sprintf("restore for inject@%d: %v", at, err))
+			}
+			fork.InjectFault(plan)
+			rret, rerr := fork.Resume()
+			if (terr == nil) != (rerr == nil) {
+				return fail(fmt.Sprintf("inject@%d errors: full=%v fork=%v", at, terr, rerr))
+			}
+			if tr, rr := full.FaultReport(), fork.FaultReport(); tr != rr {
+				return fail(fmt.Sprintf("inject@%d fault reports diverge:\nfull: %+v\nfork: %+v", at, tr, rr))
+			}
+			if terr != nil {
+				continue // matching trap class; state after a trap carries no promise
+			}
+			if rret != tret || fork.Count != full.Count {
+				return fail(fmt.Sprintf("inject@%d: ret %d/%d count %d/%d",
+					at, rret, tret, fork.Count, full.Count))
+			}
+			if ts, rs := full.Checksum(res.Mod.Globals...), fork.Checksum(res.Mod.Globals...); ts != rs {
+				return fail(fmt.Sprintf("inject@%d checksum: full=%#x fork=%#x", at, ts, rs))
+			}
 		}
 	}
 	return nil

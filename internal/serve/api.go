@@ -64,6 +64,12 @@ type SubmitRequest struct {
 	// ShardSize is the trials-per-scheduling-step batch (0 = heuristic).
 	// Ledgers are shard-size-invariant.
 	ShardSize int `json:"shard_size,omitempty"`
+	// Checkpoints is the golden-run snapshot-ladder size for
+	// fork-from-checkpoint trials. Omitted = the server default;
+	// explicit 0 disables the ladder (every trial replays the full
+	// golden prefix); negative is rejected. Ledgers are
+	// checkpoint-count-invariant.
+	Checkpoints *int `json:"checkpoints,omitempty"`
 
 	// Adaptive enables variance-aware adaptive stopping (sfi.Stopper):
 	// trials aimed at regions whose recovery-rate Wilson interval has
@@ -166,14 +172,15 @@ type campaignSpec struct {
 	source string // SnapshotCache key
 	build  func() (*ir.Module, []*ir.Global, error)
 
-	trials  int
-	seed    uint64
-	dmax    int64
-	bits    int
-	workers int
-	shard   int
-	stop    *sfi.Stopper
-	ccfg    core.Config
+	trials      int
+	seed        uint64
+	dmax        int64
+	bits        int
+	workers     int
+	shard       int
+	checkpoints int
+	stop        *sfi.Stopper
+	ccfg        core.Config
 }
 
 // normalize validates the request and applies the encore-sfi defaults.
@@ -199,6 +206,13 @@ func (r *SubmitRequest) normalize(cfg Config) (campaignSpec, error) {
 	}
 	if sp.workers == 0 {
 		sp.workers = cfg.Workers
+	}
+	sp.checkpoints = cfg.Checkpoints
+	if r.Checkpoints != nil {
+		if *r.Checkpoints < 0 {
+			return sp, fmt.Errorf("checkpoints %d is negative (0 disables the snapshot ladder)", *r.Checkpoints)
+		}
+		sp.checkpoints = *r.Checkpoints
 	}
 	if r.AdaptiveCI < 0 {
 		return sp, fmt.Errorf("adaptive_ci %g is negative", r.AdaptiveCI)

@@ -66,6 +66,11 @@ type Config struct {
 	// Engine is the default interpreter engine for campaigns that do not
 	// name one. Ledgers are engine-invariant; this only moves throughput.
 	Engine interp.Engine
+	// Checkpoints is the default golden-run snapshot-ladder size for
+	// campaigns that do not request their own (requests may pass an
+	// explicit 0 to disable forking). Ledgers are
+	// checkpoint-count-invariant; this only moves throughput.
+	Checkpoints int
 	// Obs selects the metrics registry for the serve/campaign spans, the
 	// serve.campaigns.* admission counters, and the serve.inflight.*
 	// gauges. Nil selects obs.Default().
@@ -380,7 +385,8 @@ func (s *Server) execute(c *campaign) (*sfi.CampaignResult, error) {
 		Trace: obs.NewJSONLSink(c),
 		Stats: c.est,
 		Ctx:   c.ctx, ShardSize: c.spec.shard,
-		Stop: c.spec.stop,
+		Stop:        c.spec.stop,
+		Checkpoints: c.spec.checkpoints,
 	})
 }
 

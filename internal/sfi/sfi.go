@@ -266,6 +266,18 @@ type CampaignConfig struct {
 	// throughput.
 	Engine interp.Engine
 
+	// Checkpoints enables fork-from-snapshot trial execution: the golden
+	// run captures this many evenly spaced machine snapshots in one pass
+	// (interp.LadderRungs), and each trial restores the deepest snapshot
+	// strictly before its InjectAt instead of re-executing the whole
+	// golden prefix. Zero disables checkpointing (every trial replays
+	// from Reset, the historical behavior); negative is an error, as is a
+	// value exceeding the golden run's dynamic instruction count. Trial
+	// outcomes, the ledger, stats, shard slices, and adaptive decisions
+	// are bit-identical at any checkpoint count — TestCheckpointLedgerInvariant
+	// pins that down — so the knob only affects throughput.
+	Checkpoints int
+
 	// Obs selects the metrics registry for the "sfi/campaign" span, the
 	// "sfi.outcome.*" counters, and worker throughput. Nil selects
 	// obs.Default().
@@ -403,6 +415,9 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	if cfg.Dmax < 0 {
 		return nil, fmt.Errorf("sfi: negative Dmax %d (latency is sampled uniformly from [0, Dmax])", cfg.Dmax)
 	}
+	if cfg.Checkpoints < 0 {
+		return nil, fmt.Errorf("sfi: negative checkpoint count %d (0 disables the ladder)", cfg.Checkpoints)
+	}
 	if cfg.Shard != nil && cfg.Stop != nil {
 		return nil, fmt.Errorf("sfi: Shard and Stop cannot be combined (adaptive stopping decides from the global record stream)")
 	}
@@ -431,6 +446,26 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	golden := m.Checksum(outs...)
 	total := m.Count
 	pool.put(m)
+
+	// Checkpoint ladder: one extra pass over the golden prefix captures
+	// every snapshot; trials then fork from the nearest rung below their
+	// injection point instead of replaying from instruction zero. The
+	// ladder is attached to the pool so freshly built worker machines
+	// warm-start pre-loaded with the deepest snapshot's state.
+	var ladder *interp.Ladder
+	if cfg.Checkpoints > 0 {
+		if int64(cfg.Checkpoints) > total {
+			return nil, fmt.Errorf("sfi: %d checkpoints exceed the golden run's %d dynamic instructions", cfg.Checkpoints, total)
+		}
+		cm := pool.get()
+		_, lad, err := cm.RunWithSnapshots(interp.LadderRungs(cfg.Checkpoints, total))
+		if err != nil {
+			return nil, fmt.Errorf("sfi: checkpoint capture: %w", err)
+		}
+		pool.put(cm)
+		ladder = lad
+		pool.attachLadder(lad)
+	}
 
 	res := &CampaignResult{Trials: cfg.Trials}
 	r := rng(cfg.Seed ^ 0xFA0C7)
@@ -546,10 +581,31 @@ func RunCampaign(mod *ir.Module, metas []interp.RegionMeta, outs []*ir.Global, c
 	if cfg.Ctx != nil {
 		cancel = cfg.Ctx.Done()
 	}
+	// Fork-from-snapshot bookkeeping: restores counts trials served from
+	// the ladder, replay_instrs the short deltas actually re-executed to
+	// reach InjectAt, and saved_instrs the golden-prefix instructions the
+	// restores avoided re-running.
+	restores := reg.Counter("sfi.restore.count")
+	replayInstrs := reg.Counter("sfi.restore.replay_instrs")
+	savedInstrs := reg.Counter("sfi.restore.saved_instrs")
 	doTrial := func(w *interp.Machine, t int) {
-		w.Reset()
-		w.InjectFault(plans[t])
-		_, err := w.Run()
+		var err error
+		if snap := ladder.Best(plans[t].InjectAt); snap != nil && w.Restore(snap) == nil {
+			// Fork: rewind to the deepest snapshot strictly before the
+			// injection point, arm the fault, and replay only the delta.
+			// The restored state is snapshot-exact (instance sequencing,
+			// region buffers, counters), so the trial's record is
+			// byte-identical to the replay-everything path's.
+			w.InjectFault(plans[t])
+			_, err = w.Resume()
+			restores.Add(1)
+			replayInstrs.Add(plans[t].InjectAt - snap.Count())
+			savedInstrs.Add(snap.Count())
+		} else {
+			w.Reset()
+			w.InjectFault(plans[t])
+			_, err = w.Run()
+		}
 		rep := w.FaultReport()
 		match := err == nil && w.Checksum(outs...) == golden
 		o := classify(rep, err, match)
@@ -646,7 +702,12 @@ type machinePool struct {
 	// prog is the shared pre-decoded Program; also handed to the
 	// adaptive region-map run so it skips re-decoding.
 	prog *interp.Program
-	pool sync.Pool
+	// ladder, when attached, warm-starts freshly built machines: they
+	// come out of New pre-restored to the deepest snapshot, so a worker's
+	// first fork pays a dirty-delta restore instead of a cold image.
+	// Written once before trial workers spawn, read-only after.
+	ladder *interp.Ladder
+	pool   sync.Pool
 }
 
 func newMachinePool(mod *ir.Module, metas []interp.RegionMeta, engine interp.Engine) *machinePool {
@@ -658,10 +719,21 @@ func newMachinePool(mod *ir.Module, metas []interp.RegionMeta, engine interp.Eng
 		if metas != nil {
 			w.SetRuntime(metas)
 		}
+		if s := p.ladder.Deepest(); s != nil {
+			// Warm start: pre-load the deepest snapshot so the machine's
+			// frames, register slices, and memory deltas are materialized
+			// before its first trial. A failure here is harmless — the
+			// trial loop Resets and replays from scratch.
+			_ = w.Restore(s)
+		}
 		return w
 	}
 	return p
 }
+
+// attachLadder publishes the campaign's checkpoint ladder to the pool.
+// Must be called before trial workers start building machines.
+func (p *machinePool) attachLadder(l *interp.Ladder) { p.ladder = l }
 
 func (p *machinePool) get() *interp.Machine  { return p.pool.Get().(*interp.Machine) }
 func (p *machinePool) put(w *interp.Machine) { p.pool.Put(w) }

@@ -17,9 +17,10 @@
 # engines, and that the Prometheus expositions (CLI -prom and the
 # daemon's /metrics?format=prom) pass scripts/promlint.go. The campaign
 # smokes additionally check that a 3-shard -shard/-merge split
-# reproduces the single-process ledger and stats byte for byte, and that
+# reproduces the single-process ledger and stats byte for byte, that
 # -adaptive stopping elides the same trials regardless of worker count
-# and engine.
+# and engine, and that fork-from-checkpoint trials (-checkpoints) leave
+# the trial ledger byte-identical to full golden-prefix replay.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -90,6 +91,8 @@ echo "==> flag surface (-h must document the observability flags)"
 "$tmp/encore-sfi" -h 2>&1 | grep -q -- '-adaptive' || { echo "encore-sfi -h: missing -adaptive" >&2; exit 1; }
 "$tmp/encore-sfi" -h 2>&1 | grep -q -- '-reuse' || { echo "encore-sfi -h: missing -reuse" >&2; exit 1; }
 "$tmp/encore-serve" -h 2>&1 | grep -q -- '-adaptive-ci' || { echo "encore-serve -h: missing -adaptive-ci" >&2; exit 1; }
+"$tmp/encore-sfi" -h 2>&1 | grep -q -- '-checkpoints' || { echo "encore-sfi -h: missing -checkpoints" >&2; exit 1; }
+"$tmp/encore-serve" -h 2>&1 | grep -q -- '-checkpoints' || { echo "encore-serve -h: missing -checkpoints" >&2; exit 1; }
 
 echo "==> smoke: encore"
 "$tmp/encore" -app rawcaudio -metrics "$tmp/encore.json" > /dev/null
@@ -126,6 +129,18 @@ cmp -s "$tmp/report-fast.txt" "$tmp/report-closure.txt" || {
 echo "==> smoke: closure engine reproduces the SFI trial ledger byte for byte"
 "$tmp/encore-sfi" -app rawcaudio -trials 5 -engine closure -trace "$tmp/trace-closure.jsonl" > /dev/null
 cmp -s "$tmp/trace.jsonl" "$tmp/trace-closure.jsonl" || { echo "encore-sfi -engine closure: trial ledger differs from fast engine" >&2; exit 1; }
+
+echo "==> smoke: checkpoint-ladder ledger byte-identical to full-replay"
+# Fork-from-checkpoint trials restore a golden-run snapshot instead of
+# replaying the whole prefix; the trial ledger must not move by a byte
+# between a ladder-free run and a dense ladder.
+"$tmp/encore-sfi" -app rawcaudio -trials 20 -seed 3 -checkpoints 0 -trace "$tmp/ck0.jsonl" > /dev/null
+"$tmp/encore-sfi" -app rawcaudio -trials 20 -seed 3 -checkpoints 8 -trace "$tmp/ck8.jsonl" > /dev/null
+cmp -s "$tmp/ck0.jsonl" "$tmp/ck8.jsonl" || {
+	echo "encore-sfi -checkpoints: ledger differs between 0 and 8:" >&2
+	diff "$tmp/ck0.jsonl" "$tmp/ck8.jsonl" >&2 || true
+	exit 1
+}
 
 echo "==> smoke: encore-sfi -stats byte-identical across workers and engines"
 # The online estimator snapshot must not depend on trial parallelism or
